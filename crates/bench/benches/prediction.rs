@@ -1,0 +1,64 @@
+//! Benchmarks of the prediction toolkit itself: curve interpolation, the
+//! analytical models, placement enumeration, and a full quick-scale
+//! profile-and-predict cycle (the paper's "simple offline profiling").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pp_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_curve(c: &mut Criterion) {
+    let curve = SensitivityCurve::from_points(
+        (1..=16).map(|i| (i as f64 * 20e6, (i as f64).sqrt() * 8.0)).collect(),
+    );
+    c.bench_function("predict/curve_interpolate", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 7e6;
+            if x > 300e6 {
+                x = 0.0;
+            }
+            black_box(curve.interpolate(x))
+        })
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model");
+    g.bench_function("eq1_worst_case", |b| {
+        b.iter(|| black_box(worst_case_drop(PAPER_DELTA_SECS, 21.3e6)))
+    });
+    let model = CacheModel {
+        cache_lines: 196_608.0,
+        target_working_lines: 114_688.0,
+        target_hits_per_sec: 21.3e6,
+    };
+    g.bench_function("appendix_a_conversion", |b| {
+        b.iter(|| black_box(model.conversion_rate(137e6)))
+    });
+    g.finish();
+}
+
+fn bench_placement_enumeration(c: &mut Criterion) {
+    c.bench_function("placement/enumerate_3type_12flow", |b| {
+        let mut flows = vec![FlowType::Mon; 4];
+        flows.extend(vec![FlowType::Fw; 4]);
+        flows.extend(vec![FlowType::Re; 4]);
+        b.iter(|| black_box(enumerate_placements(&flows, 6).len()))
+    });
+}
+
+fn bench_quick_profile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("solo_profile_quick", |b| {
+        b.iter(|| black_box(SoloProfile::measure(FlowType::Fw, ExpParams::quick())))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_curve, bench_models, bench_placement_enumeration, bench_quick_profile
+}
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro <subcommand> [--quick] [--threads N] [--levels N] [--out DIR]
+//!
+//! subcommands:
+//!   table1     Table 1  — solo-run characteristics
+//!   fig2       Fig. 2   — 25-pair contention matrix + averages
+//!   fig4       Fig. 4   — cache vs memctrl contention (SYN ramps)
+//!   fig5       Fig. 5   — SYN curves vs realistic competitors
+//!   fig6       Fig. 6   — Eq. 1 worst-case bound
+//!   fig7       Fig. 7   — hit→miss conversion, measured vs model
+//!   fig8       Fig. 8   — prediction errors (25 pairs)
+//!   fig9       Fig. 9   — prediction for the mixed workload
+//!   fig10      Fig. 10  — best/worst placement study
+//!   pipeline   §2.2     — pipeline vs parallel
+//!   throttle   §4       — containing hidden aggressiveness
+//!   ablate     extras   — DCA / associativity / lookup-structure / prefetch ablations
+//!   extended   extras   — prediction generality on DPI / NAT / CLASS
+//!   cat        extras   — L3 way-partitioning (isolation vs prediction)
+//!   mixes      extras   — error distribution over random 6-flow mixes
+//!   all        everything above, in order
+//! ```
+//!
+//! `--quick` runs test-scale structures with short windows (for smoke
+//! runs); default is paper scale. Results land in `results/*.csv`.
+
+use pp_bench::experiments;
+use pp_bench::RunCtx;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|pipeline|throttle|ablate|extended|cat|mixes|all> \
+         [--quick] [--threads N] [--levels N] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args[0].clone();
+    let mut ctx = RunCtx::paper();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                let out = ctx.out_dir.clone();
+                ctx = RunCtx::quick();
+                ctx.out_dir = out;
+            }
+            "--threads" => {
+                i += 1;
+                ctx.threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--levels" => {
+                i += 1;
+                ctx.levels = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                ctx.out_dir = args.get(i).map(Into::into).unwrap_or_else(|| usage());
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    println!(
+        "repro: {} (scale: {:?}, warmup {} ms, window {} ms, {} threads, {} ramp levels)",
+        cmd, ctx.params.scale, ctx.params.warmup_ms, ctx.params.window_ms, ctx.threads, ctx.levels
+    );
+    let t0 = Instant::now();
+    match cmd.as_str() {
+        "table1" => {
+            experiments::table1::run(&ctx);
+        }
+        "fig2" => {
+            experiments::fig2::run(&ctx);
+        }
+        "fig4" => {
+            experiments::fig4::run(&ctx);
+        }
+        "fig5" => {
+            experiments::fig5::run(&ctx);
+        }
+        "fig6" => {
+            experiments::fig6::run(&ctx);
+        }
+        "fig7" => {
+            experiments::fig7::run(&ctx);
+        }
+        "fig8" => {
+            experiments::fig8::run(&ctx);
+        }
+        "fig9" => {
+            experiments::fig9::run(&ctx);
+        }
+        "fig10" => {
+            experiments::fig10::run(&ctx);
+        }
+        "pipeline" => {
+            experiments::pipeline::run(&ctx);
+        }
+        "throttle" => {
+            experiments::throttle::run(&ctx);
+        }
+        "ablate" => {
+            experiments::ablations::run(&ctx);
+        }
+        "extended" => {
+            experiments::extended::run(&ctx);
+        }
+        "cat" => {
+            experiments::partition::run(&ctx);
+        }
+        "mixes" => {
+            experiments::mixes::run(&ctx);
+        }
+        "all" => {
+            experiments::table1::run(&ctx);
+            experiments::fig2::run(&ctx);
+            experiments::fig4::run(&ctx);
+            experiments::fig5::run(&ctx);
+            experiments::fig6::run(&ctx);
+            experiments::fig7::run(&ctx);
+            let f8 = experiments::fig8::run(&ctx);
+            experiments::fig9::run_with(&ctx, Some(&f8.predictor));
+            experiments::fig10::run(&ctx);
+            experiments::pipeline::run(&ctx);
+            experiments::throttle::run(&ctx);
+            experiments::ablations::run(&ctx);
+            let ext = experiments::extended::run(&ctx);
+            experiments::mixes::run_with(&ctx, Some(&ext.predictor));
+            experiments::partition::run(&ctx);
+        }
+        _ => usage(),
+    }
+    println!("\n[done in {:.1}s]", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,250 @@
+//! Ablation studies on the design choices DESIGN.md calls out.
+//!
+//! These go beyond the paper's figures: each ablation switches one modeling
+//! or implementation decision and re-measures a contention-sensitive
+//! scenario, quantifying how much that choice contributes to the observed
+//! behaviour.
+//!
+//! * **DCA on/off** — the paper's platform DMAs packets into the L3
+//!   (Direct Cache Access). Without it every header read goes to DRAM.
+//! * **L3 associativity** — the paper argues its results are generic LRU
+//!   phenomena, not artifacts of 16-way associativity; we sweep it.
+//! * **Binary vs multibit trie** — same routes, different memory shape:
+//!   the lookup structure determines the flow's sensitivity profile.
+//! * **SYN memory-level parallelism** — how the competitors' MLP changes
+//!   the pressure they exert at equal refs/sec.
+
+use crate::RunCtx;
+use pp_click::pipelines::{build_flow, ChainKind, FlowSpec};
+use pp_core::prelude::*;
+use pp_sim::config::MachineConfig;
+use pp_sim::engine::Engine;
+use pp_sim::machine::Machine;
+use pp_sim::types::{CoreId, MemDomain};
+
+/// Measured drop of a MON-vs-5-SYN_MAX co-run under a given machine config.
+/// Returns `(solo pps, drop %)`. Shared with the partitioning experiment.
+pub(crate) fn mon_drop_under(cfg: MachineConfig, ctx: &RunCtx) -> (f64, f64) {
+    let scale = ctx.params.scale;
+    let build = |machine: &mut Machine, core: u16, kind: ChainKind, seed: u64| {
+        let mut spec = match scale {
+            Scale::Paper => FlowSpec::new(kind, seed),
+            Scale::Test => FlowSpec::small(kind, seed),
+        };
+        spec.structure_seed = 0xFEED;
+        let b = build_flow(machine, MemDomain(0), &spec);
+        (CoreId(core), b.task)
+    };
+
+    // Solo.
+    let mut machine = Machine::new(cfg.clone());
+    let (c, t) = build(&mut machine, 0, ChainKind::Mon, 1);
+    let mut e = Engine::new(machine);
+    e.set_task(c, Box::new(t));
+    let warm = ctx.params.warmup_cycles(e.machine.config());
+    let win = ctx.params.window_cycles(e.machine.config());
+    let solo = e.measure(warm, win).core(CoreId(0)).unwrap().metrics.pps;
+
+    // Contended.
+    let mut machine = Machine::new(cfg);
+    let (c, t) = build(&mut machine, 0, ChainKind::Mon, 1);
+    let mut tasks = vec![(c, t)];
+    for i in 1..=5u16 {
+        let (c, t) = build(
+            &mut machine,
+            i,
+            ChainKind::Syn(pp_click::elements::synthetic::SynParams::max(i as u64)),
+            100 + i as u64,
+        );
+        tasks.push((c, t));
+    }
+    let mut e = Engine::new(machine);
+    for (c, t) in tasks {
+        e.set_task(c, Box::new(t));
+    }
+    let co = e.measure(warm, win).core(CoreId(0)).unwrap().metrics.pps;
+    (solo, (solo - co) / solo * 100.0)
+}
+
+/// Run all ablations and report.
+pub fn run(ctx: &RunCtx) {
+    ctx.heading("Ablations — how much does each design choice matter?");
+
+    // 1. DCA.
+    let mut t = Table::new(
+        "DCA (NIC DMA into L3) on/off: MON solo throughput and drop vs 5 SYN_MAX",
+        &["dca", "solo Mpps", "drop (%)"],
+    );
+    for dca in [true, false] {
+        let mut cfg = MachineConfig::westmere();
+        cfg.dca = dca;
+        let (solo, drop) = mon_drop_under(cfg, ctx);
+        t.row(vec![dca.to_string(), fmt_f(solo / 1e6, 3), fmt_f(drop, 2)]);
+    }
+    ctx.emit("ablate_dca", &t);
+
+    // 2. L3 associativity.
+    let mut t = Table::new(
+        "L3 associativity sweep (same capacity): the contention effect is not an associativity artifact",
+        &["ways", "solo Mpps", "drop (%)"],
+    );
+    for ways in [4u32, 8, 16, 32] {
+        let mut cfg = MachineConfig::westmere();
+        cfg.l3 = pp_sim::config::CacheGeom::new(cfg.l3.size_bytes, ways);
+        let (solo, drop) = mon_drop_under(cfg, ctx);
+        t.row(vec![ways.to_string(), fmt_f(solo / 1e6, 3), fmt_f(drop, 2)]);
+    }
+    ctx.emit("ablate_associativity", &t);
+
+    // 3. Lookup-structure choice: binary radix trie vs multibit trie under
+    //    identical contention (both route identically; footprints differ).
+    let mut t = Table::new(
+        "Lookup structure: Click-style binary radix trie vs leaf-pushed multibit trie (IP flow)",
+        &["structure", "solo Mpps", "drop vs 5 SYN_MAX (%)", "L3 refs/pkt solo"],
+    );
+    for (label, config_text) in [
+        ("binary radix", "RADIX"),
+        ("multibit", "MULTIBIT"),
+    ] {
+        let scale = ctx.params.scale;
+        let n_prefixes = match scale {
+            Scale::Paper => 128_000,
+            Scale::Test => 32_000,
+        };
+        let cfg_text = |seed: u64| {
+            let class =
+                if config_text == "RADIX" { "RadixIPLookup" } else { "MultibitIPLookup" };
+            format!(
+                "chk :: CheckIPHeader; rt :: {class}(PREFIXES {n_prefixes}, SEED {seed}); \
+                 ttl :: DecIPTTL; out :: ToDevice; chk -> rt -> ttl -> out;"
+            )
+        };
+        let run_one = |with_syn: bool| -> (f64, f64) {
+            use pp_click::config::{build_config, BuildCtx};
+            use pp_click::cost::CostModel;
+            use pp_click::flow::{FlowTask, FrameworkChurn};
+            use pp_net::gen::traffic::{TrafficGen, TrafficSpec};
+            use pp_sim::nic::NicQueue;
+            use std::cell::RefCell;
+            use std::rc::Rc;
+            let mut machine = Machine::new(MachineConfig::westmere());
+            let cost = CostModel::default();
+            let nic = Rc::new(RefCell::new(NicQueue::new(
+                machine.allocator(MemDomain(0)),
+                256,
+                512,
+                2048,
+            )));
+            let built = {
+                let mut bctx = BuildCtx {
+                    machine: &mut machine,
+                    domain: MemDomain(0),
+                    nic: nic.clone(),
+                    cost,
+                    seed: 0xFEED,
+                };
+                build_config(&cfg_text(0xFEED), &mut bctx).expect("valid config")
+            };
+            let churn = FrameworkChurn::new(machine.allocator(MemDomain(0)), &cost);
+            let task = FlowTask::new(
+                label,
+                TrafficGen::new(TrafficSpec::random_dst(64, 5)),
+                nic,
+                built.graph,
+                cost,
+            )
+            .with_churn(churn);
+            let mut syn_tasks = Vec::new();
+            if with_syn {
+                for i in 1..=5u16 {
+                    let mut spec = match scale {
+                        Scale::Paper => FlowSpec::new(
+                            ChainKind::Syn(
+                                pp_click::elements::synthetic::SynParams::max(i as u64),
+                            ),
+                            100 + i as u64,
+                        ),
+                        Scale::Test => FlowSpec::small(
+                            ChainKind::Syn(
+                                pp_click::elements::synthetic::SynParams::max(i as u64),
+                            ),
+                            100 + i as u64,
+                        ),
+                    };
+                    spec.structure_seed = 0xFEED;
+                    let b = build_flow(&mut machine, MemDomain(0), &spec);
+                    syn_tasks.push((CoreId(i), b.task));
+                }
+            }
+            let mut e = Engine::new(machine);
+            e.set_task(CoreId(0), Box::new(task));
+            for (c, t) in syn_tasks {
+                e.set_task(c, Box::new(t));
+            }
+            let warm = ctx.params.warmup_cycles(e.machine.config());
+            let win = ctx.params.window_cycles(e.machine.config());
+            let m = e.measure(warm, win);
+            let cm = m.core(CoreId(0)).unwrap();
+            (cm.metrics.pps, cm.metrics.l3_refs_per_packet)
+        };
+        let (solo_pps, refs_solo) = run_one(false);
+        let (co_pps, _) = run_one(true);
+        t.row(vec![
+            label.to_string(),
+            fmt_f(solo_pps / 1e6, 3),
+            fmt_f((solo_pps - co_pps) / solo_pps * 100.0, 2),
+            fmt_f(refs_solo, 2),
+        ]);
+    }
+    ctx.emit("ablate_lookup_structure", &t);
+    println!(
+        "the multibit trie does the same routing with far fewer L3 refs/packet — a\n\
+         downstream user can trade lookup-structure memory shape against sensitivity"
+    );
+
+    // 4. Hardware prefetcher. Two instructive non-results and one real
+    //    effect: FW's 1000-rule scan is L2-resident after warmup (nothing
+    //    left to prefetch), MON's hash probes are stride-free (untrainable)
+    //    — but the *framework's* sequential per-packet metadata walk is a
+    //    textbook stream, so the streamer hides a slice of the misses that
+    //    contention converts, shrinking MON's drop under SYN_MAX pressure.
+    let mut t = Table::new(
+        "L2 stream prefetcher on/off",
+        &["prefetch", "FW solo Mpps", "MON solo Mpps", "MON drop vs 5 SYN_MAX (%)"],
+    );
+    for enabled in [false, true] {
+        let mut cfg = MachineConfig::westmere();
+        cfg.prefetch.enabled = enabled;
+        let fw = solo_pps_under(cfg.clone(), ChainKind::Fw, ctx);
+        let (mon_solo, mon_drop) = mon_drop_under(cfg, ctx);
+        t.row(vec![
+            enabled.to_string(),
+            fmt_f(fw / 1e6, 3),
+            fmt_f(mon_solo / 1e6, 3),
+            fmt_f(mon_drop, 2),
+        ]);
+    }
+    ctx.emit("ablate_prefetch", &t);
+    println!(
+        "FW's scan lives in L2 after warmup and MON's probes are stride-free — neither\n\
+         trains the streamer. What does is the framework's sequential per-packet metadata\n\
+         walk: prefetching it hides misses that contention would otherwise convert, which\n\
+         is why MON's drop (not its solo rate) is where the streamer shows up"
+    );
+}
+
+/// Solo throughput of one flow kind under a machine config.
+fn solo_pps_under(cfg: MachineConfig, kind: ChainKind, ctx: &RunCtx) -> f64 {
+    let mut spec = match ctx.params.scale {
+        Scale::Paper => FlowSpec::new(kind, 1),
+        Scale::Test => FlowSpec::small(kind, 1),
+    };
+    spec.structure_seed = 0xFEED;
+    let mut machine = Machine::new(cfg);
+    let b = build_flow(&mut machine, MemDomain(0), &spec);
+    let mut e = Engine::new(machine);
+    e.set_task(CoreId(0), Box::new(b.task));
+    let warm = ctx.params.warmup_cycles(e.machine.config());
+    let win = ctx.params.window_cycles(e.machine.config());
+    e.measure(warm, win).core(CoreId(0)).unwrap().metrics.pps
+}

@@ -1,0 +1,160 @@
+//! Figure 10: the benefit of contention-aware scheduling — per-combination
+//! best vs worst flow-to-core placement, and the per-flow breakdown for the
+//! 6 MON / 6 FW combination.
+
+use crate::RunCtx;
+use pp_core::prelude::*;
+use std::collections::BTreeMap;
+
+/// A 12-flow combination studied in Fig. 10(a).
+pub struct Combo {
+    /// Display label.
+    pub label: &'static str,
+    /// The 12 flows.
+    pub flows: Vec<FlowType>,
+}
+
+/// The combinations we study: a realistic set spanning mixes of
+/// sensitive/aggressive/neutral types, plus the adversarial SYN_MAX mix.
+pub fn combos() -> Vec<Combo> {
+    let six = |t: FlowType, u: FlowType| {
+        let mut v = vec![t; 6];
+        v.extend(vec![u; 6]);
+        v
+    };
+    vec![
+        Combo { label: "6IP+6MON", flows: six(FlowType::Ip, FlowType::Mon) },
+        Combo { label: "6MON+6FW", flows: six(FlowType::Mon, FlowType::Fw) },
+        Combo { label: "6MON+6RE", flows: six(FlowType::Mon, FlowType::Re) },
+        Combo { label: "6FW+6RE", flows: six(FlowType::Fw, FlowType::Re) },
+        Combo { label: "6MON+6VPN", flows: six(FlowType::Mon, FlowType::Vpn) },
+        Combo {
+            label: "4MON+4FW+4RE",
+            flows: {
+                let mut v = vec![FlowType::Mon; 4];
+                v.extend(vec![FlowType::Fw; 4]);
+                v.extend(vec![FlowType::Re; 4]);
+                v
+            },
+        },
+        Combo { label: "6SYN_MAX+6FW", flows: six(FlowType::SynMax, FlowType::Fw) },
+    ]
+}
+
+/// One combination's study result.
+pub struct ComboResult {
+    /// Display label.
+    pub label: &'static str,
+    /// Number of distinct placements evaluated.
+    pub placements: usize,
+    /// Best placement (lowest average drop).
+    pub best: PlacementEval,
+    /// Worst placement.
+    pub worst: PlacementEval,
+}
+
+impl ComboResult {
+    /// The scheduling benefit: worst minus best average drop (pp).
+    pub fn benefit(&self) -> f64 {
+        self.worst.avg_drop - self.best.avg_drop
+    }
+}
+
+/// Output of the Fig. 10 reproduction.
+pub struct Fig10Output {
+    /// Per-combination results.
+    pub results: Vec<ComboResult>,
+}
+
+impl Fig10Output {
+    /// Largest benefit among realistic combinations (paper: ~2 pp).
+    pub fn max_realistic_benefit(&self) -> f64 {
+        self.results
+            .iter()
+            .filter(|r| !r.label.contains("SYN"))
+            .map(|r| r.benefit())
+            .fold(0.0, f64::max)
+    }
+
+    /// Benefit of the adversarial SYN_MAX mix (paper: ~6 pp).
+    pub fn synmax_benefit(&self) -> Option<f64> {
+        self.results.iter().find(|r| r.label.contains("SYN")).map(|r| r.benefit())
+    }
+}
+
+/// Run and report the Fig. 10 reproduction.
+pub fn run(ctx: &RunCtx) -> Fig10Output {
+    ctx.heading("Figure 10 — benefit of contention-aware scheduling (best vs worst placement)");
+
+    // Solo throughput per involved type, measured once.
+    let mut types: Vec<FlowType> = combos().iter().flat_map(|c| c.flows.clone()).collect();
+    types.sort();
+    types.dedup();
+    let solos = SoloProfile::measure_all(&types, ctx.params, ctx.threads);
+    let solo_pps: BTreeMap<FlowType, f64> = solos.iter().map(|p| (p.flow, p.pps)).collect();
+
+    let mut results = Vec::new();
+    for combo in combos() {
+        let (best, worst, all) =
+            study_measured(&combo.flows, &solo_pps, ctx.params, ctx.threads);
+        println!(
+            "  {}: {} placements, best {:.2}% (avg) worst {:.2}% -> benefit {:.2} pp",
+            combo.label,
+            all.len(),
+            best.avg_drop,
+            worst.avg_drop,
+            worst.avg_drop - best.avg_drop
+        );
+        results.push(ComboResult {
+            label: combo.label,
+            placements: all.len(),
+            best,
+            worst,
+        });
+    }
+    let out = Fig10Output { results };
+
+    let mut a = Table::new(
+        "Fig 10(a): average drop under best/worst placement",
+        &["combination", "placements", "best avg (%)", "worst avg (%)", "benefit (pp)"],
+    );
+    for r in &out.results {
+        a.row(vec![
+            r.label.to_string(),
+            r.placements.to_string(),
+            fmt_f(r.best.avg_drop, 2),
+            fmt_f(r.worst.avg_drop, 2),
+            fmt_f(r.benefit(), 2),
+        ]);
+    }
+    ctx.emit("fig10a", &a);
+
+    // Fig 10(b): per-flow drops for 6 MON / 6 FW.
+    if let Some(mf) = out.results.iter().find(|r| r.label == "6MON+6FW") {
+        let mut b = Table::new(
+            "Fig 10(b): per-flow drop, 6 MON / 6 FW",
+            &["flow", "best placement (%)", "worst placement (%)"],
+        );
+        for i in 0..mf.best.per_flow.len() {
+            let (f_best, d_best) = mf.best.per_flow[i];
+            let (_, d_worst) = mf.worst.per_flow[i];
+            b.row(vec![
+                format!("{}#{}", f_best.name(), i),
+                fmt_f(d_best, 2),
+                fmt_f(d_worst, 2),
+            ]);
+        }
+        ctx.emit("fig10b", &b);
+        println!(
+            "  best placement: {}\n  worst placement: {}",
+            mf.best.placement.describe(),
+            mf.worst.placement.describe()
+        );
+    }
+    println!(
+        "max realistic benefit {:.2} pp (paper ~2), SYN_MAX benefit {:.2} pp (paper ~6)",
+        out.max_realistic_benefit(),
+        out.synmax_benefit().unwrap_or(0.0)
+    );
+    out
+}

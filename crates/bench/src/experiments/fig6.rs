@@ -1,0 +1,71 @@
+//! Figure 6: estimated maximum performance drop as a function of the solo
+//! cache hits/sec (Equation 1, κ = 1), for δ ∈ {30, 43.75, 60} ns, with the
+//! five workloads placed on the δ = 43.75 ns curve.
+
+use crate::RunCtx;
+use pp_core::prelude::*;
+
+/// Paper's Fig. 6 spot values at δ = 43.75 ns (worst-case drop %).
+pub const PAPER_FIG6_POINTS: [(&str, f64); 5] =
+    [("IP", 47.0), ("MON", 48.0), ("FW", 9.0), ("RE", 19.0), ("VPN", 24.0)];
+
+/// Output: the three curves plus the measured workload points.
+pub struct Fig6Output {
+    /// `(delta_ns, hits/sec, worst-case drop %)` samples.
+    pub curves: Vec<(f64, f64, f64)>,
+    /// `(flow, solo hits/sec, worst-case drop %)` at δ = 43.75 ns.
+    pub points: Vec<(FlowType, f64, f64)>,
+}
+
+/// Run and report the Fig. 6 reproduction.
+pub fn run(ctx: &RunCtx) -> Fig6Output {
+    ctx.heading("Figure 6 — worst-case drop vs solo hits/sec (Equation 1, κ=1)");
+
+    let mut curves = Vec::new();
+    for delta_ns in [30.0, 43.75, 60.0] {
+        let mut h = 0.0;
+        while h <= 60e6 {
+            curves.push((delta_ns, h, worst_case_drop(delta_ns * 1e-9, h) * 100.0));
+            h += 1e6;
+        }
+    }
+
+    // The workload points use *our* profiled solo hits/sec.
+    let profiles = SoloProfile::measure_all(&REALISTIC, ctx.params, ctx.threads);
+    let points: Vec<(FlowType, f64, f64)> = profiles
+        .iter()
+        .map(|p| {
+            (
+                p.flow,
+                p.l3_hits_per_sec,
+                worst_case_drop(PAPER_DELTA_SECS, p.l3_hits_per_sec) * 100.0,
+            )
+        })
+        .collect();
+
+    let mut series = Table::new(
+        "Fig 6: Eq.1 curves",
+        &["delta (ns)", "hits/s (M)", "worst-case drop (%)"],
+    );
+    for &(d, h, y) in &curves {
+        series.row(vec![fmt_f(d, 2), millions(h), fmt_f(y, 2)]);
+    }
+    let path = ctx.out_dir.join("fig6_curves.csv");
+    let _ = series.write_csv(&path);
+    println!("[saved {} ({} samples)]", path.display(), series.len());
+
+    let mut pts = Table::new(
+        "Fig 6 points (δ = 43.75 ns)",
+        &["flow", "solo hits/s (M)", "worst-case drop (%)", "paper (%)"],
+    );
+    for (i, &(f, h, y)) in points.iter().enumerate() {
+        pts.row(vec![
+            f.name(),
+            millions(h),
+            fmt_f(y, 1),
+            fmt_f(PAPER_FIG6_POINTS[i].1, 1),
+        ]);
+    }
+    ctx.emit("fig6_points", &pts);
+    Fig6Output { curves, points }
+}

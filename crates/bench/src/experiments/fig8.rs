@@ -1,0 +1,131 @@
+//! Figure 8: prediction errors for the 25 two-type workloads — our
+//! prediction (solo-profiled competition) and the perfect-knowledge variant
+//! (actual competing refs/sec).
+
+use crate::RunCtx;
+use pp_core::prelude::*;
+
+/// Paper's Fig. 8(c) average absolute errors, in `REALISTIC` order:
+/// `(ours, perfect-knowledge)`.
+pub const PAPER_FIG8C: [(f64, f64); 5] =
+    [(1.96, 1.39), (1.92, 1.41), (0.44, 0.35), (1.97, 1.44), (1.00, 0.69)];
+
+/// Output of the Fig. 8 reproduction.
+pub struct Fig8Output {
+    /// All 25 prediction-vs-measurement comparisons (target-major).
+    pub errors: Vec<PredictionError>,
+    /// The predictor used (reused by Fig. 9 when running `all`).
+    pub predictor: Predictor,
+}
+
+impl Fig8Output {
+    /// Average absolute error of our prediction for one target.
+    pub fn avg_abs_error(&self, target: FlowType) -> f64 {
+        let errs: Vec<f64> = self
+            .errors
+            .iter()
+            .filter(|e| e.target == target)
+            .map(|e| e.error().abs())
+            .collect();
+        errs.iter().sum::<f64>() / errs.len() as f64
+    }
+
+    /// Average absolute error of the perfect-knowledge prediction.
+    pub fn avg_abs_error_perfect(&self, target: FlowType) -> f64 {
+        let errs: Vec<f64> = self
+            .errors
+            .iter()
+            .filter(|e| e.target == target)
+            .map(|e| e.error_perfect().abs())
+            .collect();
+        errs.iter().sum::<f64>() / errs.len() as f64
+    }
+
+    /// Worst absolute error of our prediction (the paper claims < 3%).
+    pub fn worst_abs_error(&self) -> f64 {
+        self.errors.iter().map(|e| e.error().abs()).fold(0.0, f64::max)
+    }
+}
+
+/// Run and report the Fig. 8 reproduction.
+pub fn run(ctx: &RunCtx) -> Fig8Output {
+    ctx.heading("Figure 8 — prediction errors for 25 two-type workloads");
+
+    println!("[profiling: 5 solos + 5 SYN ramps of {} levels]", ctx.levels);
+    let predictor = Predictor::profile(&REALISTIC, ctx.levels, ctx.params, ctx.threads);
+
+    // Measure the 25 pairs (reusing the predictor's solo profiles).
+    let pairs: Vec<(usize, usize)> = (0..REALISTIC.len())
+        .flat_map(|t| (0..REALISTIC.len()).map(move |c| (t, c)))
+        .collect();
+    let params = ctx.params;
+    let solos: Vec<FlowResult> =
+        REALISTIC.iter().map(|&t| predictor.solo(t).unwrap().raw.clone()).collect();
+    let outcomes = run_many(pairs.clone(), ctx.threads, move |(ti, ci)| {
+        corun_against_solo(
+            &solos[ti],
+            REALISTIC[ti],
+            &[REALISTIC[ci]; 5],
+            ContentionConfig::Both,
+            params,
+        )
+    });
+
+    let errors: Vec<PredictionError> = pairs
+        .iter()
+        .zip(&outcomes)
+        .map(|(&(ti, ci), o)| {
+            let target = REALISTIC[ti];
+            let competitors = vec![REALISTIC[ci]; 5];
+            PredictionError {
+                target,
+                predicted: predictor.predict_drop(target, &competitors),
+                predicted_perfect: predictor
+                    .predict_drop_perfect(target, o.competing_refs_per_sec),
+                measured: o.drop_pct,
+                competitors,
+            }
+        })
+        .collect();
+    let out = Fig8Output { errors, predictor };
+
+    // Fig 8(a): signed errors of our prediction.
+    let mut headers = vec!["target".to_string()];
+    headers.extend(REALISTIC.iter().map(|c| format!("5x {}", c.name())));
+    let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut a = Table::new("Fig 8(a): our prediction error (pp)", &href);
+    let mut b = Table::new("Fig 8(b): perfect-knowledge error (pp)", &href);
+    for (ti, &t) in REALISTIC.iter().enumerate() {
+        let mut ra = vec![t.name()];
+        let mut rb = vec![t.name()];
+        for ci in 0..REALISTIC.len() {
+            let e = &out.errors[ti * REALISTIC.len() + ci];
+            ra.push(fmt_f(e.error(), 2));
+            rb.push(fmt_f(e.error_perfect(), 2));
+        }
+        a.row(ra);
+        b.row(rb);
+    }
+    ctx.emit("fig8a", &a);
+    ctx.emit("fig8b", &b);
+
+    let mut c = Table::new(
+        "Fig 8(c): average |error| per target",
+        &["target", "ours (pp)", "paper ours", "perfect (pp)", "paper perfect"],
+    );
+    for (i, &t) in REALISTIC.iter().enumerate() {
+        c.row(vec![
+            t.name(),
+            fmt_f(out.avg_abs_error(t), 2),
+            fmt_f(PAPER_FIG8C[i].0, 2),
+            fmt_f(out.avg_abs_error_perfect(t), 2),
+            fmt_f(PAPER_FIG8C[i].1, 2),
+        ]);
+    }
+    ctx.emit("fig8c", &c);
+    println!(
+        "worst |error| = {:.2} pp (paper: all errors below 3 pp)",
+        out.worst_abs_error()
+    );
+    out
+}

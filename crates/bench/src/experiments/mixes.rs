@@ -1,0 +1,200 @@
+//! Prediction robustness over random mixes — beyond the paper's
+//! evaluation.
+//!
+//! The paper validates its predictor on 25 homogeneous pairs (Fig. 8) and
+//! one hand-picked mixed workload (Fig. 9). An operator consolidating
+//! middlebox functions will see arbitrary mixes, so we sweep many *random*
+//! 6-flow combinations over all eight workload types and report the error
+//! **distribution** (mean / p50 / p95 / max) for the paper's method and
+//! the fill-rate refinement. Every mix is predicted from offline profiles
+//! only — none of the measured combinations is ever used for fitting.
+
+use crate::RunCtx;
+use pp_core::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One flow's outcome within one random mix.
+#[derive(Debug, Clone)]
+pub struct MixRow {
+    /// Mix index.
+    pub mix: usize,
+    /// The flow.
+    pub flow: FlowType,
+    /// Measured drop (%).
+    pub measured: f64,
+    /// Paper-method prediction (%).
+    pub predicted: f64,
+    /// Fill-rate-method prediction (%).
+    pub predicted_fillrate: f64,
+}
+
+/// Output of the sweep.
+pub struct MixesOutput {
+    /// Per-flow rows (`n_mixes` × 6).
+    pub rows: Vec<MixRow>,
+}
+
+/// Distribution summary of absolute errors.
+#[derive(Debug, Clone, Copy)]
+pub struct ErrorStats {
+    /// Mean absolute error (pp).
+    pub mean: f64,
+    /// Median (pp).
+    pub p50: f64,
+    /// 95th percentile (pp).
+    pub p95: f64,
+    /// Maximum (pp).
+    pub max: f64,
+}
+
+fn stats(mut errs: Vec<f64>) -> ErrorStats {
+    errs.sort_by(f64::total_cmp);
+    let n = errs.len().max(1);
+    let q = |p: f64| errs[(((n - 1) as f64) * p).round() as usize];
+    ErrorStats {
+        mean: errs.iter().sum::<f64>() / n as f64,
+        p50: q(0.50),
+        p95: q(0.95),
+        max: errs.last().copied().unwrap_or(0.0),
+    }
+}
+
+impl MixesOutput {
+    /// Error distribution of the paper's method.
+    pub fn paper_stats(&self) -> ErrorStats {
+        stats(self.rows.iter().map(|r| (r.predicted - r.measured).abs()).collect())
+    }
+
+    /// Error distribution of the fill-rate refinement.
+    pub fn fillrate_stats(&self) -> ErrorStats {
+        stats(
+            self.rows
+                .iter()
+                .map(|r| (r.predicted_fillrate - r.measured).abs())
+                .collect(),
+        )
+    }
+}
+
+/// Number of random mixes at paper scale (quick runs use fewer).
+const N_MIXES_PAPER: usize = 24;
+const N_MIXES_QUICK: usize = 8;
+
+/// Run and report the sweep, optionally reusing a profiled predictor.
+pub fn run_with(ctx: &RunCtx, predictor: Option<&Predictor>) -> MixesOutput {
+    ctx.heading("Random mixes — prediction error distribution over arbitrary 6-flow mixes");
+    let types: Vec<FlowType> = REALISTIC.iter().chain(EXTENDED.iter()).copied().collect();
+
+    let owned;
+    let predictor = match predictor {
+        Some(p) => p,
+        None => {
+            println!("[profiling: 8 solos + 8 SYN ramps of {} levels]", ctx.levels);
+            owned = Predictor::profile(&types, ctx.levels, ctx.params, ctx.threads);
+            &owned
+        }
+    };
+
+    let n_mixes = match ctx.params.scale {
+        Scale::Paper => N_MIXES_PAPER,
+        Scale::Test => N_MIXES_QUICK,
+    };
+    let mut rng = SmallRng::seed_from_u64(ctx.params.seed ^ 0x317C_55);
+    let mixes: Vec<Vec<FlowType>> = (0..n_mixes)
+        .map(|_| (0..6).map(|_| types[rng.random_range(0..types.len())]).collect())
+        .collect();
+
+    // Measure every mix (6 flows on socket 0, NUMA-local, as in §2.2).
+    let params = ctx.params;
+    let results = run_many(mixes.clone(), ctx.threads, |mix| {
+        let scenario = Scenario {
+            flows: mix
+                .iter()
+                .enumerate()
+                .map(|(i, &flow)| FlowPlacement {
+                    core: pp_sim::types::CoreId(i as u16),
+                    flow,
+                    domain: pp_sim::types::MemDomain(0),
+                })
+                .collect(),
+            params,
+        };
+        run_scenario(&scenario)
+    });
+
+    let mut rows = Vec::new();
+    for (mi, (mix, res)) in mixes.iter().zip(&results).enumerate() {
+        for (i, &flow) in mix.iter().enumerate() {
+            let solo = predictor.solo(flow).expect("profiled").pps;
+            let measured = (solo - res.flows[i].metrics.pps) / solo * 100.0;
+            let competitors: Vec<FlowType> = mix
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, &c)| c)
+                .collect();
+            rows.push(MixRow {
+                mix: mi,
+                flow,
+                measured,
+                predicted: predictor.predict_drop(flow, &competitors),
+                predicted_fillrate: predictor.predict_drop_fillrate(flow, &competitors),
+            });
+        }
+    }
+    let out = MixesOutput { rows };
+
+    let mut t = Table::new(
+        format!("Per-flow predictions over {n_mixes} random mixes"),
+        &[
+            "mix",
+            "flow",
+            "measured (%)",
+            "paper method (%)",
+            "|err| (pp)",
+            "fill-rate (%)",
+            "|err| (pp)",
+        ],
+    );
+    for r in &out.rows {
+        t.row(vec![
+            r.mix.to_string(),
+            r.flow.name(),
+            fmt_f(r.measured, 2),
+            fmt_f(r.predicted, 2),
+            fmt_f((r.predicted - r.measured).abs(), 2),
+            fmt_f(r.predicted_fillrate, 2),
+            fmt_f((r.predicted_fillrate - r.measured).abs(), 2),
+        ]);
+    }
+    ctx.emit("mixes", &t);
+
+    let ps = out.paper_stats();
+    let fs = out.fillrate_stats();
+    let mut s = Table::new(
+        "Absolute-error distribution (pp)",
+        &["method", "mean", "p50", "p95", "max"],
+    );
+    s.row(vec![
+        "paper (refs/sec)".into(),
+        fmt_f(ps.mean, 2),
+        fmt_f(ps.p50, 2),
+        fmt_f(ps.p95, 2),
+        fmt_f(ps.max, 2),
+    ]);
+    s.row(vec![
+        "fill-rate (misses/sec)".into(),
+        fmt_f(fs.mean, 2),
+        fmt_f(fs.p50, 2),
+        fmt_f(fs.p95, 2),
+        fmt_f(fs.max, 2),
+    ]);
+    ctx.emit("mixes_summary", &s);
+    out
+}
+
+/// Run standalone.
+pub fn run(ctx: &RunCtx) -> MixesOutput {
+    run_with(ctx, None)
+}

@@ -1,0 +1,19 @@
+//! One module per table/figure of the paper's evaluation, plus the §2.2
+//! pipeline-vs-parallel study, the §4 containment demo, and the extension
+//! studies (new applications, cache partitioning, prediction robustness).
+
+pub mod ablations;
+pub mod extended;
+pub mod fig10;
+pub mod mixes;
+pub mod partition;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod pipeline;
+pub mod table1;
+pub mod throttle;

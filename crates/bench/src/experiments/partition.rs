@@ -1,0 +1,128 @@
+//! Cache partitioning (Intel CAT) — the isolation endgame the paper
+//! predates.
+//!
+//! The paper makes contention *predictable*; hardware way-partitioning
+//! (Intel Cache Allocation Technology, introduced years later) makes it
+//! largely *disappear*. This experiment quantifies that trade on the same
+//! simulated platform:
+//!
+//! * **Isolation** — the most sensitive flow (MON) vs the most aggressive
+//!   competitors (5× SYN_MAX), with the L3's 16 ways either shared or
+//!   split evenly among the socket's cores. Partitioning caps the damage
+//!   at the cost of a smaller private slice.
+//! * **Worst-case placement** — the paper's Fig. 10(b) worst case (six MON
+//!   flows on one socket) with and without CAT: partitioned, each flow
+//!   keeps near-solo performance and placement stops mattering at all.
+//!
+//! The upshot for an operator: the paper's profiling+prediction machinery
+//! is what you need on *shared* caches; CAT turns the same platform into
+//! one where prediction is trivial because each flow's effective cache is
+//! private. Both are forms of predictability — one statistical, one by
+//! construction.
+
+use crate::experiments::ablations::mon_drop_under;
+use crate::RunCtx;
+use pp_click::pipelines::{build_flow, ChainKind, FlowSpec};
+use pp_core::prelude::*;
+use pp_sim::config::MachineConfig;
+use pp_sim::engine::Engine;
+use pp_sim::machine::Machine;
+use pp_sim::types::{CoreId, MemDomain};
+
+/// Per-flow drops of six MON flows sharing one socket under a config.
+/// Returns (per-flow drop %, average drop %). The solo baseline uses the
+/// *same* config, so CAT's static capacity cost is separated from its
+/// contention protection.
+fn six_mon_drops(cfg: MachineConfig, ctx: &RunCtx) -> (Vec<f64>, f64) {
+    let scale = ctx.params.scale;
+    let mk_spec = |seed: u64| {
+        let mut spec = match scale {
+            Scale::Paper => FlowSpec::new(ChainKind::Mon, seed),
+            Scale::Test => FlowSpec::small(ChainKind::Mon, seed),
+        };
+        spec.structure_seed = 0xFEED;
+        spec
+    };
+
+    // Solo baseline (one MON alone on core 0).
+    let mut machine = Machine::new(cfg.clone());
+    let b = build_flow(&mut machine, MemDomain(0), &mk_spec(1));
+    let mut e = Engine::new(machine);
+    e.set_task(CoreId(0), Box::new(b.task));
+    let warm = ctx.params.warmup_cycles(e.machine.config());
+    let win = ctx.params.window_cycles(e.machine.config());
+    let solo = e.measure(warm, win).core(CoreId(0)).unwrap().metrics.pps;
+
+    // Six MON flows on cores 0..5.
+    let mut machine = Machine::new(cfg);
+    let mut tasks = Vec::new();
+    for i in 0..6u16 {
+        let b = build_flow(&mut machine, MemDomain(0), &mk_spec(1 + i as u64));
+        tasks.push((CoreId(i), b.task));
+    }
+    let mut e = Engine::new(machine);
+    for (c, t) in tasks {
+        e.set_task(c, Box::new(t));
+    }
+    let meas = e.measure(warm, win);
+    let drops: Vec<f64> = (0..6u16)
+        .map(|i| {
+            let pps = meas.core(CoreId(i)).unwrap().metrics.pps;
+            (solo - pps) / solo * 100.0
+        })
+        .collect();
+    let avg = drops.iter().sum::<f64>() / drops.len() as f64;
+    (drops, avg)
+}
+
+/// Run and report the partitioning study.
+pub fn run(ctx: &RunCtx) {
+    ctx.heading("Cache partitioning (CAT) — isolating flows instead of predicting them");
+
+    // 1. Most-sensitive vs most-aggressive, shared vs partitioned L3.
+    let mut t = Table::new(
+        "MON vs 5x SYN_MAX: shared L3 vs equal way-partitioning",
+        &["L3", "MON solo Mpps", "drop vs 5 SYN_MAX (%)"],
+    );
+    let (solo_shared, drop_shared) = mon_drop_under(MachineConfig::westmere(), ctx);
+    let (solo_cat, drop_cat) =
+        mon_drop_under(MachineConfig::westmere().with_equal_cat(), ctx);
+    t.row(vec![
+        "shared (16 ways)".into(),
+        fmt_f(solo_shared / 1e6, 3),
+        fmt_f(drop_shared, 2),
+    ]);
+    t.row(vec![
+        "equal CAT (3/3/3/3/2/2)".into(),
+        fmt_f(solo_cat / 1e6, 3),
+        fmt_f(drop_cat, 2),
+    ]);
+    ctx.emit("cat_isolation", &t);
+
+    // 2. The paper's worst placement (6 MON on one socket), both ways.
+    let (drops_shared, avg_shared) = six_mon_drops(MachineConfig::westmere(), ctx);
+    let (drops_cat, avg_cat) =
+        six_mon_drops(MachineConfig::westmere().with_equal_cat(), ctx);
+    let mut t = Table::new(
+        "Six MON flows on one socket (Fig. 10(b)'s worst case), per-flow drop vs same-config solo",
+        &["flow", "shared L3 (%)", "equal CAT (%)"],
+    );
+    for i in 0..6 {
+        t.row(vec![
+            format!("MON#{i}"),
+            fmt_f(drops_shared[i], 2),
+            fmt_f(drops_cat[i], 2),
+        ]);
+    }
+    t.row(vec!["average".into(), fmt_f(avg_shared, 2), fmt_f(avg_cat, 2)]);
+    ctx.emit("cat_six_mon", &t);
+
+    println!(
+        "shared: the contention the whole paper is about ({avg_shared:.1}% average drop).\n\
+         partitioned: each flow keeps its slice — contention drop collapses to {avg_cat:.1}%\n\
+         (residual = DMA fills and memory-controller queueing, which CAT does not isolate).\n\
+         The static cost of the smaller slice shows in the solo column: {:.3} -> {:.3} Mpps.",
+        solo_shared / 1e6,
+        solo_cat / 1e6,
+    );
+}

@@ -1,0 +1,82 @@
+//! # pp-bench — the reproduction harness
+//!
+//! One module per table/figure of the paper's evaluation (run them through
+//! the `repro` binary: `cargo run --release -p pp-bench --bin repro -- all`),
+//! plus criterion microbenchmarks of the substrate and applications under
+//! `benches/`.
+//!
+//! Every experiment prints the same rows/series the paper reports, writes a
+//! CSV under `results/`, and — where the paper gives concrete numbers —
+//! prints the paper's values alongside for the EXPERIMENTS.md comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use pp_core::prelude::*;
+use std::path::PathBuf;
+
+/// Shared run context for all experiments.
+#[derive(Debug, Clone)]
+pub struct RunCtx {
+    /// Measurement parameters (scale, warmup, window).
+    pub params: ExpParams,
+    /// Host worker threads for independent simulation points.
+    pub threads: usize,
+    /// Where CSVs are written.
+    pub out_dir: PathBuf,
+    /// SYN ramp length for sensitivity curves.
+    pub levels: u8,
+}
+
+impl RunCtx {
+    /// Paper-scale context writing to `results/`.
+    pub fn paper() -> Self {
+        RunCtx {
+            params: ExpParams::paper(),
+            threads: default_threads(),
+            out_dir: PathBuf::from("results"),
+            levels: 8,
+        }
+    }
+
+    /// Quick (test-scale) context: smaller structures, shorter windows,
+    /// shorter ramps. Used by integration tests and `--quick`.
+    pub fn quick() -> Self {
+        RunCtx {
+            params: ExpParams::quick(),
+            threads: default_threads(),
+            out_dir: PathBuf::from("results"),
+            levels: 4,
+        }
+    }
+
+    /// Print a section heading.
+    pub fn heading(&self, title: &str) {
+        println!("\n=== {title} ===");
+    }
+
+    /// Print a table and persist its CSV under the output directory.
+    pub fn emit(&self, file_stem: &str, table: &Table) {
+        println!("{}", table.render());
+        let path = self.out_dir.join(format!("{file_stem}.csv"));
+        match table.write_csv(&path) {
+            Ok(()) => println!("[saved {}]", path.display()),
+            Err(e) => eprintln!("[warn] could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contexts_construct() {
+        let p = RunCtx::paper();
+        assert_eq!(p.levels, 8);
+        let q = RunCtx::quick();
+        assert!(q.threads >= 1);
+    }
+}

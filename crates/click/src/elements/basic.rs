@@ -1,0 +1,363 @@
+//! Small per-packet elements: header validation, TTL decrement, transmit
+//! and discard sinks, counters, and a protocol/port classifier.
+
+use crate::cost::CostModel;
+use crate::element::{Action, Element};
+use pp_net::headers::{ethertype, Ipv4Header};
+use pp_net::packet::Packet;
+use pp_sim::ctx::ExecCtx;
+use pp_sim::nic::NicQueue;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// `CheckIPHeader`: validate EtherType, IP version/IHL, and the full header
+/// checksum (really computed over the packet bytes). Invalid packets are
+/// dropped. This is the Fig. 7 `check_ip_header` function: it re-references
+/// the same packet header lines on every packet, so its cached data is
+/// "almost never evicted by competitors".
+pub struct CheckIpHeader {
+    cost: CostModel,
+    /// Packets that passed validation.
+    pub ok: u64,
+    /// Packets dropped as invalid.
+    pub bad: u64,
+}
+
+impl CheckIpHeader {
+    /// Build with a cost model.
+    pub fn new(cost: CostModel) -> Self {
+        CheckIpHeader { cost, ok: 0, bad: 0 }
+    }
+}
+
+impl Element for CheckIpHeader {
+    fn class_name(&self) -> &'static str {
+        "CheckIPHeader"
+    }
+
+    fn tag(&self) -> &'static str {
+        "check_ip_header"
+    }
+
+    fn process(&mut self, ctx: &mut ExecCtx<'_>, pkt: &mut Packet) -> Action {
+        // First touch of the packet in the processing path: Ethernet + IP
+        // headers (34 bytes — one line, two if the buffer straddles).
+        if pkt.buf_addr != 0 {
+            ctx.read_struct(pkt.buf_addr, 34);
+        }
+        CostModel::charge(ctx, self.cost.check_ip_header);
+        let valid = pkt
+            .ethernet()
+            .map(|e| e.ethertype == ethertype::IPV4)
+            .unwrap_or(false)
+            && pkt.ipv4().is_ok()
+            && Ipv4Header::verify_checksum(&pkt.data[pkt.l3_offset()..]);
+        if valid {
+            self.ok += 1;
+            Action::Out(0)
+        } else {
+            self.bad += 1;
+            Action::Drop
+        }
+    }
+}
+
+/// `DecIPTTL`: decrement the TTL and patch the checksum incrementally
+/// (RFC 1624). Packets whose TTL reaches zero are dropped. Writes the
+/// header line (making it dirty — which is what makes pipeline handoffs of
+/// the header expensive).
+pub struct DecIpTtl {
+    cost: CostModel,
+    /// Packets dropped because the TTL expired.
+    pub expired: u64,
+}
+
+impl DecIpTtl {
+    /// Build with a cost model.
+    pub fn new(cost: CostModel) -> Self {
+        DecIpTtl { cost, expired: 0 }
+    }
+}
+
+impl Element for DecIpTtl {
+    fn class_name(&self) -> &'static str {
+        "DecIPTTL"
+    }
+
+    fn tag(&self) -> &'static str {
+        "dec_ip_ttl"
+    }
+
+    fn process(&mut self, ctx: &mut ExecCtx<'_>, pkt: &mut Packet) -> Action {
+        if pkt.buf_addr != 0 {
+            let hdr = pkt.buf_addr + pkt.l3_offset() as u64;
+            ctx.read(hdr);
+            ctx.write(hdr);
+        }
+        CostModel::charge(ctx, self.cost.dec_ttl);
+        match pkt.dec_ttl() {
+            Some(_) => Action::Out(0),
+            None => {
+                self.expired += 1;
+                Action::Drop
+            }
+        }
+    }
+}
+
+/// `ToDevice`: transmit the packet (TX descriptor write) and recycle its
+/// buffer into the queue's pool. In pipeline mode (`shared = true`), the
+/// recycle touches the pool free-list as cross-core shared data — the
+/// paper's §2.2 "extra synchronization between the two cores".
+pub struct ToDevice {
+    nic: Rc<RefCell<NicQueue>>,
+    shared: bool,
+    /// Packets transmitted.
+    pub sent: u64,
+}
+
+impl ToDevice {
+    /// Transmit into `nic`; `shared` marks cross-core recycling.
+    pub fn new(nic: Rc<RefCell<NicQueue>>, shared: bool) -> Self {
+        ToDevice { nic, shared, sent: 0 }
+    }
+}
+
+impl Element for ToDevice {
+    fn class_name(&self) -> &'static str {
+        "ToDevice"
+    }
+
+    fn tag(&self) -> &'static str {
+        "to_device"
+    }
+
+    fn process(&mut self, ctx: &mut ExecCtx<'_>, pkt: &mut Packet) -> Action {
+        self.sent += 1;
+        if pkt.buf_addr != 0 {
+            let mut nic = self.nic.borrow_mut();
+            if self.shared {
+                nic.tx_shared(ctx, pkt.buf_addr);
+            } else {
+                nic.tx(ctx, pkt.buf_addr);
+            }
+            pkt.buf_addr = 0;
+        }
+        Action::Consumed
+    }
+}
+
+/// `Discard`: drop every packet (the flow recycles the buffer).
+#[derive(Default)]
+pub struct Discard {
+    /// Packets discarded.
+    pub count: u64,
+}
+
+impl Element for Discard {
+    fn class_name(&self) -> &'static str {
+        "Discard"
+    }
+
+    fn tag(&self) -> &'static str {
+        "discard"
+    }
+
+    fn process(&mut self, _ctx: &mut ExecCtx<'_>, _pkt: &mut Packet) -> Action {
+        self.count += 1;
+        Action::Drop
+    }
+}
+
+/// `Counter`: count packets and bytes, pass through.
+#[derive(Default)]
+pub struct Counter {
+    /// Packets seen.
+    pub packets: u64,
+    /// Bytes seen.
+    pub bytes: u64,
+}
+
+impl Element for Counter {
+    fn class_name(&self) -> &'static str {
+        "Counter"
+    }
+
+    fn tag(&self) -> &'static str {
+        "counter"
+    }
+
+    fn process(&mut self, ctx: &mut ExecCtx<'_>, pkt: &mut Packet) -> Action {
+        ctx.compute(2, 2);
+        self.packets += 1;
+        self.bytes += pkt.len() as u64;
+        Action::Out(0)
+    }
+}
+
+/// One classification case for [`Classifier`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClassRule {
+    /// Match this IP protocol (`None` = any).
+    pub protocol: Option<u8>,
+    /// Match destination ports in this inclusive range (`None` = any).
+    pub dst_ports: Option<(u16, u16)>,
+    /// Output port when matched.
+    pub out: u8,
+}
+
+/// `Classifier`: route packets to output ports by protocol / destination
+/// port; first matching case wins, otherwise `default_out`.
+pub struct Classifier {
+    rules: Vec<ClassRule>,
+    default_out: u8,
+    /// Per-output-port packet counts (indexed by output port).
+    pub dispatched: Vec<u64>,
+}
+
+impl Classifier {
+    /// Build from cases and a default output.
+    pub fn new(rules: Vec<ClassRule>, default_out: u8, _cost: CostModel) -> Self {
+        let max_port = rules
+            .iter()
+            .map(|r| r.out)
+            .chain(std::iter::once(default_out))
+            .max()
+            .unwrap_or(0);
+        Classifier { rules, default_out, dispatched: vec![0; max_port as usize + 1] }
+    }
+}
+
+impl Element for Classifier {
+    fn class_name(&self) -> &'static str {
+        "Classifier"
+    }
+
+    fn tag(&self) -> &'static str {
+        "classifier"
+    }
+
+    fn process(&mut self, ctx: &mut ExecCtx<'_>, pkt: &mut Packet) -> Action {
+        if pkt.buf_addr != 0 {
+            ctx.read(pkt.buf_addr + pkt.l3_offset() as u64);
+        }
+        let Ok(key) = pkt.flow_key() else { return Action::Drop };
+        for r in &self.rules {
+            CostModel::charge(ctx, (3, 3));
+            let proto_ok = r.protocol.map(|p| p == key.protocol).unwrap_or(true);
+            let port_ok = r
+                .dst_ports
+                .map(|(lo, hi)| (lo..=hi).contains(&key.dst_port))
+                .unwrap_or(true);
+            if proto_ok && port_ok {
+                self.dispatched[r.out as usize] += 1;
+                return Action::Out(r.out);
+            }
+        }
+        self.dispatched[self.default_out as usize] += 1;
+        Action::Out(self.default_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::test_util::{machine, packet};
+    use pp_sim::types::{CoreId, MemDomain};
+
+    #[test]
+    fn check_ip_header_accepts_valid() {
+        let mut m = machine();
+        let mut el = CheckIpHeader::new(CostModel::default());
+        let mut ctx = m.ctx(CoreId(0));
+        let mut pkt = packet();
+        assert_eq!(el.process(&mut ctx, &mut pkt), Action::Out(0));
+        assert_eq!(el.ok, 1);
+    }
+
+    #[test]
+    fn check_ip_header_rejects_corrupt_checksum() {
+        let mut m = machine();
+        let mut el = CheckIpHeader::new(CostModel::default());
+        let mut ctx = m.ctx(CoreId(0));
+        let mut pkt = packet();
+        pkt.data[20] ^= 0xFF; // corrupt a header byte
+        assert_eq!(el.process(&mut ctx, &mut pkt), Action::Drop);
+        assert_eq!(el.bad, 1);
+    }
+
+    #[test]
+    fn check_ip_header_rejects_non_ip() {
+        let mut m = machine();
+        let mut el = CheckIpHeader::new(CostModel::default());
+        let mut ctx = m.ctx(CoreId(0));
+        let mut pkt = packet();
+        pkt.data[12] = 0x08;
+        pkt.data[13] = 0x06; // ARP
+        assert_eq!(el.process(&mut ctx, &mut pkt), Action::Drop);
+    }
+
+    #[test]
+    fn dec_ttl_decrements_and_drops_at_zero() {
+        let mut m = machine();
+        let mut el = DecIpTtl::new(CostModel::default());
+        let mut ctx = m.ctx(CoreId(0));
+        let mut pkt = packet(); // TTL 64
+        for _ in 0..64 {
+            assert_eq!(el.process(&mut ctx, &mut pkt), Action::Out(0));
+        }
+        assert_eq!(pkt.ipv4().unwrap().ttl, 0);
+        assert_eq!(el.process(&mut ctx, &mut pkt), Action::Drop);
+        assert_eq!(el.expired, 1);
+    }
+
+    #[test]
+    fn to_device_transmits_and_recycles() {
+        let mut m = machine();
+        let nic = Rc::new(RefCell::new(NicQueue::new(
+            m.allocator(MemDomain(0)),
+            64,
+            4,
+            2048,
+        )));
+        let mut el = ToDevice::new(nic.clone(), false);
+        let mut ctx = m.ctx(CoreId(0));
+        let mut pkt = packet();
+        pkt.buf_addr = {
+            let mut n = nic.borrow_mut();
+            n.rx(&mut ctx, 64).unwrap()
+        };
+        assert_eq!(el.process(&mut ctx, &mut pkt), Action::Consumed);
+        assert_eq!(el.sent, 1);
+        assert_eq!(pkt.buf_addr, 0);
+        assert_eq!(nic.borrow().free_buffers(), 4);
+    }
+
+    #[test]
+    fn classifier_dispatches_by_port() {
+        let mut m = machine();
+        let mut cl = Classifier::new(
+            vec![
+                ClassRule { protocol: Some(6), dst_ports: None, out: 1 },
+                ClassRule { protocol: None, dst_ports: Some((0, 1023)), out: 2 },
+            ],
+            0,
+            CostModel::default(),
+        );
+        let mut ctx = m.ctx(CoreId(0));
+        let mut pkt = packet(); // UDP, dst port 53
+        assert_eq!(cl.process(&mut ctx, &mut pkt), Action::Out(2));
+        assert_eq!(cl.dispatched[2], 1);
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut m = machine();
+        let mut c = Counter::default();
+        let mut ctx = m.ctx(CoreId(0));
+        let mut pkt = packet();
+        assert_eq!(c.process(&mut ctx, &mut pkt), Action::Out(0));
+        assert_eq!(c.packets, 1);
+        assert_eq!(c.bytes, pkt.len() as u64);
+    }
+}

@@ -1,0 +1,219 @@
+//! The control element (§4, "Containing hidden aggressiveness"): a
+//! configurable number of simple CPU operations prepended to a flow, used
+//! to slow the flow down and cap the rate at which it performs memory
+//! accesses. The throttling controller in `pp-core` adjusts the knob via
+//! the shared [`ControlHandle`] while monitoring the flow's refs/sec.
+
+use crate::cost::CostModel;
+use crate::element::{Action, Element};
+use pp_net::packet::Packet;
+use pp_sim::ctx::ExecCtx;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Shared knob: CPU operations the control element performs per packet.
+#[derive(Debug, Clone, Default)]
+pub struct ControlHandle(Rc<Cell<u64>>);
+
+impl ControlHandle {
+    /// A handle starting at zero (no throttling).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current ops per packet.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+
+    /// Set ops per packet.
+    pub fn set(&self, ops: u64) {
+        self.0.set(ops);
+    }
+}
+
+/// The control element. See the module docs.
+pub struct Control {
+    handle: ControlHandle,
+    cost: CostModel,
+    /// Total throttle cycles injected.
+    pub injected_cycles: u64,
+}
+
+impl Control {
+    /// Build with a shared handle.
+    pub fn new(handle: ControlHandle, cost: CostModel) -> Self {
+        Control { handle, cost, injected_cycles: 0 }
+    }
+
+    /// The shared handle (for the controller side).
+    pub fn handle(&self) -> ControlHandle {
+        self.handle.clone()
+    }
+}
+
+impl Element for Control {
+    fn class_name(&self) -> &'static str {
+        "Control"
+    }
+
+    fn tag(&self) -> &'static str {
+        "control"
+    }
+
+    fn process(&mut self, ctx: &mut ExecCtx<'_>, _pkt: &mut Packet) -> Action {
+        let ops = self.handle.get();
+        if ops > 0 {
+            let cycles = self.cost.syn_op.0 * ops;
+            CostModel::charge(ctx, (cycles, self.cost.syn_op.1 * ops));
+            self.injected_cycles += cycles;
+        }
+        Action::Out(0)
+    }
+}
+
+/// Shared trigger for [`LatentAggressor`]: random reads per packet
+/// (0 = dormant).
+#[derive(Debug, Clone, Default)]
+pub struct AggressorHandle(Rc<Cell<u32>>);
+
+impl AggressorHandle {
+    /// A dormant handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current reads per packet.
+    pub fn get(&self) -> u32 {
+        self.0.get()
+    }
+
+    /// Arm (or disarm with 0) the aggressor.
+    pub fn set(&self, reads_per_packet: u32) {
+        self.0.set(reads_per_packet);
+    }
+}
+
+/// The §4 "hidden aggressiveness" element: behaves like a no-op during
+/// profiling, but once armed (e.g., on receiving "a specially crafted
+/// packet, potentially from an attacker") it issues SYN_MAX-style random
+/// reads over an L3-sized region on every packet.
+pub struct LatentAggressor {
+    region: pp_sim::types::Addr,
+    lines: u64,
+    handle: AggressorHandle,
+    rng: rand::rngs::SmallRng,
+    addrs: Vec<pp_sim::types::Addr>,
+    /// Packets processed while armed.
+    pub aggressive_packets: u64,
+}
+
+impl LatentAggressor {
+    /// Allocate the (initially untouched) attack region in `alloc`'s
+    /// domain.
+    pub fn new(
+        alloc: &mut pp_sim::arena::DomainAllocator,
+        region_bytes: u64,
+        handle: AggressorHandle,
+        seed: u64,
+    ) -> Self {
+        use rand::SeedableRng;
+        let region = alloc.alloc_lines(region_bytes);
+        LatentAggressor {
+            region,
+            lines: region_bytes / pp_sim::types::CACHE_LINE,
+            handle,
+            rng: rand::rngs::SmallRng::seed_from_u64(seed),
+            addrs: Vec::with_capacity(64),
+            aggressive_packets: 0,
+        }
+    }
+
+    /// The shared trigger.
+    pub fn handle(&self) -> AggressorHandle {
+        self.handle.clone()
+    }
+}
+
+impl Element for LatentAggressor {
+    fn class_name(&self) -> &'static str {
+        "LatentAggressor"
+    }
+
+    fn tag(&self) -> &'static str {
+        "latent_aggressor"
+    }
+
+    fn process(&mut self, ctx: &mut ExecCtx<'_>, _pkt: &mut Packet) -> Action {
+        use rand::Rng;
+        let reads = self.handle.get();
+        if reads > 0 {
+            self.addrs.clear();
+            for _ in 0..reads {
+                let line = self.rng.random_range(0..self.lines);
+                self.addrs.push(self.region + line * pp_sim::types::CACHE_LINE);
+            }
+            ctx.read_batch(&self.addrs, 8);
+            self.aggressive_packets += 1;
+        }
+        Action::Out(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::test_util::{machine, packet};
+    use pp_sim::types::CoreId;
+
+    #[test]
+    fn zero_ops_is_free() {
+        let mut m = machine();
+        let mut c = Control::new(ControlHandle::new(), CostModel::default());
+        let mut ctx = m.ctx(CoreId(0));
+        let mut pkt = packet();
+        assert_eq!(c.process(&mut ctx, &mut pkt), Action::Out(0));
+        assert_eq!(m.core(CoreId(0)).counters.total().compute_cycles, 0);
+    }
+
+    #[test]
+    fn latent_aggressor_dormant_then_armed() {
+        let mut m = machine();
+        let handle = AggressorHandle::new();
+        let mut agg = LatentAggressor::new(
+            m.allocator(pp_sim::types::MemDomain(0)),
+            1 << 20,
+            handle.clone(),
+            7,
+        );
+        let mut ctx = m.ctx(CoreId(0));
+        let mut pkt = packet();
+        // Dormant: zero memory traffic.
+        agg.process(&mut ctx, &mut pkt);
+        assert_eq!(m.core(CoreId(0)).counters.total().l1_refs, 0);
+        // Armed: bursts of reads.
+        handle.set(32);
+        let mut ctx = m.ctx(CoreId(0));
+        agg.process(&mut ctx, &mut pkt);
+        assert_eq!(m.core(CoreId(0)).counters.total().l1_refs, 32);
+        assert_eq!(agg.aggressive_packets, 1);
+    }
+
+    #[test]
+    fn knob_takes_effect_immediately() {
+        let mut m = machine();
+        let handle = ControlHandle::new();
+        let mut c = Control::new(handle.clone(), CostModel::default());
+        handle.set(500);
+        let mut ctx = m.ctx(CoreId(0));
+        let mut pkt = packet();
+        c.process(&mut ctx, &mut pkt);
+        assert_eq!(m.core(CoreId(0)).counters.total().compute_cycles, 500);
+        handle.set(0);
+        let before = m.core(CoreId(0)).counters.total().compute_cycles;
+        let mut ctx = m.ctx(CoreId(0));
+        c.process(&mut ctx, &mut pkt);
+        assert_eq!(m.core(CoreId(0)).counters.total().compute_cycles, before);
+        assert_eq!(c.injected_cycles, 500);
+    }
+}

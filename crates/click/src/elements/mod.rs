@@ -1,0 +1,15 @@
+//! The element library: the paper's workloads and supporting elements.
+
+pub mod aes;
+pub mod basic;
+pub mod classifier;
+pub mod control;
+pub mod dpi;
+pub mod firewall;
+pub mod nat;
+pub mod netflow;
+pub mod queue;
+pub mod radix;
+pub mod re;
+pub mod synthetic;
+pub mod vpn;

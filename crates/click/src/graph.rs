@@ -1,0 +1,292 @@
+//! The element graph: elements wired port-to-port, executed as a work list.
+//!
+//! Graphs here are DAGs built programmatically (or from the Click-style
+//! config language in [`crate::config`]). Execution is push-based: a packet
+//! enters at the entry element and follows edges until an element drops or
+//! consumes it, or it exits through an unconnected port (returned to the
+//! caller, which owns buffer recycling).
+
+use crate::cost::CostModel;
+use crate::element::{Action, Element};
+use pp_net::packet::Packet;
+use pp_sim::ctx::ExecCtx;
+
+/// Identifies an element within its graph.
+pub type ElementId = usize;
+
+/// What happened to a packet pushed through the graph.
+#[derive(Debug)]
+pub enum GraphOutcome {
+    /// An element consumed the packet (buffer already handled).
+    Consumed,
+    /// An element dropped it, or it exited via an unconnected port:
+    /// the caller must recycle the buffer.
+    Returned(Packet),
+}
+
+/// A wired set of elements. See the module docs.
+pub struct ElementGraph {
+    elements: Vec<Box<dyn Element>>,
+    /// `edges[e][p]` = element receiving `e`'s output port `p`.
+    edges: Vec<Vec<Option<ElementId>>>,
+    entry: Option<ElementId>,
+    cost: CostModel,
+    /// Packets dropped by elements (Action::Drop).
+    pub drops: u64,
+    /// Packets that exited through an unconnected port.
+    pub exits: u64,
+}
+
+impl ElementGraph {
+    /// An empty graph with the given cost model.
+    pub fn new(cost: CostModel) -> Self {
+        ElementGraph {
+            elements: Vec::new(),
+            edges: Vec::new(),
+            entry: None,
+            cost,
+            drops: 0,
+            exits: 0,
+        }
+    }
+
+    /// Add an element; the first added element becomes the entry point
+    /// unless [`set_entry`](Self::set_entry) overrides it.
+    pub fn add(&mut self, e: Box<dyn Element>) -> ElementId {
+        self.elements.push(e);
+        self.edges.push(Vec::new());
+        let id = self.elements.len() - 1;
+        if self.entry.is_none() {
+            self.entry = Some(id);
+        }
+        id
+    }
+
+    /// Wire `from`'s output port `port` to `to`'s input.
+    pub fn connect(&mut self, from: ElementId, port: u8, to: ElementId) {
+        assert!(from < self.elements.len() && to < self.elements.len());
+        let ports = &mut self.edges[from];
+        if ports.len() <= port as usize {
+            ports.resize(port as usize + 1, None);
+        }
+        ports[port as usize] = Some(to);
+    }
+
+    /// Convenience: wire a linear chain `a -> b -> c -> ...` on port 0.
+    pub fn chain(&mut self, ids: &[ElementId]) {
+        for w in ids.windows(2) {
+            self.connect(w[0], 0, w[1]);
+        }
+    }
+
+    /// Set the entry element.
+    pub fn set_entry(&mut self, id: ElementId) {
+        assert!(id < self.elements.len());
+        self.entry = Some(id);
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the graph has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Immutable access to an element (diagnostics/tests).
+    pub fn element(&self, id: ElementId) -> &dyn Element {
+        self.elements[id].as_ref()
+    }
+
+    /// Mutable access to an element (reconfiguration, e.g. throttling).
+    pub fn element_mut(&mut self, id: ElementId) -> &mut dyn Element {
+        self.elements[id].as_mut()
+    }
+
+    /// Notify all elements of an epoch boundary.
+    pub fn epoch(&mut self) {
+        for e in &mut self.elements {
+            e.on_epoch();
+        }
+    }
+
+    /// Push one packet through the graph starting at the entry element.
+    pub fn run(&mut self, ctx: &mut ExecCtx<'_>, pkt: Packet) -> GraphOutcome {
+        let entry = self.entry.expect("graph has no entry element");
+        self.run_from(ctx, entry, pkt)
+    }
+
+    /// Push one packet starting at a specific element (used by pipeline
+    /// stages that enter mid-graph).
+    pub fn run_from(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        start: ElementId,
+        mut pkt: Packet,
+    ) -> GraphOutcome {
+        let mut cur = start;
+        loop {
+            CostModel::charge(ctx, self.cost.element_hop);
+            let el = &mut self.elements[cur];
+            let tag = el.tag();
+            let action = ctx.scoped(tag, |ctx| el.process(ctx, &mut pkt));
+            match action {
+                Action::Consumed => return GraphOutcome::Consumed,
+                Action::Drop => {
+                    self.drops += 1;
+                    return GraphOutcome::Returned(pkt);
+                }
+                Action::Out(port) => {
+                    match self.edges[cur].get(port as usize).copied().flatten() {
+                        Some(next) => cur = next,
+                        None => {
+                            self.exits += 1;
+                            return GraphOutcome::Returned(pkt);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::test_util::{machine, packet};
+    use pp_sim::types::CoreId;
+
+    /// Emits on a fixed port, counting invocations.
+    struct Emit {
+        port: u8,
+        seen: u64,
+    }
+    impl Element for Emit {
+        fn class_name(&self) -> &'static str {
+            "Emit"
+        }
+        fn tag(&self) -> &'static str {
+            "emit"
+        }
+        fn process(&mut self, ctx: &mut ExecCtx<'_>, _pkt: &mut Packet) -> Action {
+            self.seen += 1;
+            ctx.compute(5, 5);
+            Action::Out(self.port)
+        }
+    }
+
+    struct Dropper;
+    impl Element for Dropper {
+        fn class_name(&self) -> &'static str {
+            "Dropper"
+        }
+        fn tag(&self) -> &'static str {
+            "dropper"
+        }
+        fn process(&mut self, ctx: &mut ExecCtx<'_>, _pkt: &mut Packet) -> Action {
+            ctx.compute(1, 1);
+            Action::Drop
+        }
+    }
+
+    struct Sink;
+    impl Element for Sink {
+        fn class_name(&self) -> &'static str {
+            "Sink"
+        }
+        fn tag(&self) -> &'static str {
+            "sink"
+        }
+        fn process(&mut self, ctx: &mut ExecCtx<'_>, _pkt: &mut Packet) -> Action {
+            ctx.compute(1, 1);
+            Action::Consumed
+        }
+    }
+
+    #[test]
+    fn linear_chain_reaches_sink() {
+        let mut g = ElementGraph::new(CostModel::default());
+        let a = g.add(Box::new(Emit { port: 0, seen: 0 }));
+        let b = g.add(Box::new(Emit { port: 0, seen: 0 }));
+        let c = g.add(Box::new(Sink));
+        g.chain(&[a, b, c]);
+        let mut m = machine();
+        let mut ctx = m.ctx(CoreId(0));
+        match g.run(&mut ctx, packet()) {
+            GraphOutcome::Consumed => {}
+            other => panic!("expected Consumed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_returns_packet() {
+        let mut g = ElementGraph::new(CostModel::default());
+        let a = g.add(Box::new(Emit { port: 0, seen: 0 }));
+        let b = g.add(Box::new(Dropper));
+        g.chain(&[a, b]);
+        let mut m = machine();
+        let mut ctx = m.ctx(CoreId(0));
+        assert!(matches!(g.run(&mut ctx, packet()), GraphOutcome::Returned(_)));
+        assert_eq!(g.drops, 1);
+    }
+
+    #[test]
+    fn unconnected_port_exits() {
+        let mut g = ElementGraph::new(CostModel::default());
+        let a = g.add(Box::new(Emit { port: 3, seen: 0 }));
+        let b = g.add(Box::new(Sink));
+        g.connect(a, 0, b); // port 3 left unwired
+        let mut m = machine();
+        let mut ctx = m.ctx(CoreId(0));
+        assert!(matches!(g.run(&mut ctx, packet()), GraphOutcome::Returned(_)));
+        assert_eq!(g.exits, 1);
+    }
+
+    #[test]
+    fn branching_follows_ports() {
+        let mut g = ElementGraph::new(CostModel::default());
+        let a = g.add(Box::new(Emit { port: 1, seen: 0 }));
+        let dropper = g.add(Box::new(Dropper));
+        let sink = g.add(Box::new(Sink));
+        g.connect(a, 0, dropper);
+        g.connect(a, 1, sink);
+        let mut m = machine();
+        let mut ctx = m.ctx(CoreId(0));
+        assert!(matches!(g.run(&mut ctx, packet()), GraphOutcome::Consumed));
+        assert_eq!(g.drops, 0);
+    }
+
+    #[test]
+    fn element_work_is_tagged() {
+        let mut g = ElementGraph::new(CostModel::default());
+        let a = g.add(Box::new(Emit { port: 0, seen: 0 }));
+        let b = g.add(Box::new(Sink));
+        g.chain(&[a, b]);
+        let mut m = machine();
+        {
+            let mut ctx = m.ctx(CoreId(0));
+            let _ = g.run(&mut ctx, packet());
+        }
+        let cc = &m.core(CoreId(0)).counters;
+        assert_eq!(cc.tag("emit").unwrap().compute_cycles, 5);
+        assert_eq!(cc.tag("sink").unwrap().compute_cycles, 1);
+    }
+
+    #[test]
+    fn hop_cost_charged_per_element() {
+        let cost = CostModel::default();
+        let mut g = ElementGraph::new(cost);
+        let a = g.add(Box::new(Emit { port: 0, seen: 0 }));
+        let b = g.add(Box::new(Sink));
+        g.chain(&[a, b]);
+        let mut m = machine();
+        {
+            let mut ctx = m.ctx(CoreId(0));
+            let _ = g.run(&mut ctx, packet());
+        }
+        let total = m.core(CoreId(0)).counters.total().compute_cycles;
+        assert_eq!(total, 2 * cost.element_hop.0 + 5 + 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! # pp-click — a Click-style packet-processing framework on the simulator
+//!
+//! Elements ([`element::Element`]) are wired into graphs
+//! ([`graph::ElementGraph`]) and bound to simulated cores as flows
+//! ([`flow::FlowTask`]), reproducing the software configuration of
+//! *Toward Predictable Performance in Software Packet-Processing Platforms*
+//! (Dobrescu et al., NSDI 2012): SMP-Click in the *parallel* (one flow per
+//! core, run-to-completion) configuration, with the §2.2 *pipeline*
+//! configuration also available for the pipeline-vs-parallel experiment.
+//!
+//! The element library implements the paper's workloads for real — the trie
+//! routes, NetFlow counts, the firewall filters, RE fingerprints and
+//! deduplicates, AES encrypts — while every data-structure access is charged
+//! to the simulated memory hierarchy of `pp-sim`.
+//!
+//! Use [`pipelines::build_flow`] for ready-made paper workloads, or compose
+//! custom graphs from [`elements`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cost;
+pub mod element;
+pub mod elements;
+pub mod flow;
+pub mod graph;
+pub mod pipelines;
+
+/// Glob-import of the commonly used names.
+pub mod prelude {
+    pub use crate::config::{build_config, parse_config, BuildCtx, BuiltConfig, ConfigError};
+    pub use crate::cost::CostModel;
+    pub use crate::element::{Action, Element};
+    pub use crate::elements::aes::Aes128;
+    pub use crate::elements::basic::{
+        CheckIpHeader, ClassRule, Classifier, Counter, DecIpTtl, Discard, ToDevice,
+    };
+    pub use crate::elements::classifier::{TupleSpaceClassifier, Verdict};
+    pub use crate::elements::control::{Control, ControlHandle};
+    pub use crate::elements::dpi::{AhoCorasick, Dpi, DpiMode};
+    pub use crate::elements::firewall::Firewall;
+    pub use crate::elements::nat::{Nat, NatConfig};
+    pub use crate::elements::netflow::NetFlow;
+    pub use crate::elements::queue::SpscQueue;
+    pub use crate::elements::radix::{BinaryRadixTrie, MultibitIpLookup, MultibitTrie, RadixIpLookup};
+    pub use crate::elements::re::{ReConfig, RedundancyElim, RollingHash};
+    pub use crate::elements::synthetic::{SynParams, Synthetic};
+    pub use crate::elements::vpn::VpnEncrypt;
+    pub use crate::flow::{FlowTask, SinkStage, SourceStage};
+    pub use crate::graph::{ElementGraph, ElementId, GraphOutcome};
+    pub use crate::pipelines::{
+        build_flow, build_pipeline, two_phase_parallel, two_phase_pipeline, BuiltFlow,
+        ChainKind, FlowSpec, TwoPhaseParams,
+    };
+}

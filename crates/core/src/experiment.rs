@@ -1,0 +1,454 @@
+//! Scenario construction and measurement — the machinery behind every
+//! experiment in the paper's evaluation.
+//!
+//! A [`Scenario`] places flows on cores with explicit NUMA data placement;
+//! [`run_scenario`] builds a fresh machine, runs warmup + a measurement
+//! window, and returns per-flow metrics (including per-function tag
+//! counters). The three contention configurations of Fig. 3 are provided by
+//! [`ContentionConfig`]:
+//!
+//! * `CacheOnly` (3a) — competitors co-run on the target's socket but their
+//!   data is homed on the remote socket: they share the target's L3 while
+//!   their DRAM traffic uses the remote controller.
+//! * `MemCtrlOnly` (3b) — competitors run on the other socket (own L3) but
+//!   their data is homed on the target's socket: they share only the
+//!   target's memory controller (via QPI).
+//! * `Both` (3c) — competitors co-run on the target's socket with local
+//!   data: cache and controller are both contended. This is also the
+//!   "realistic" co-location used in Fig. 2.
+//!
+//! Every scenario is an independent, deterministic simulation (seeded RNG,
+//! no host-time dependence), so sweeps parallelize across host threads with
+//! bitwise-identical results.
+
+use crate::workload::{FlowType, Scale};
+use pp_sim::config::MachineConfig;
+use pp_sim::counters::{Counts, DerivedMetrics};
+use pp_sim::engine::Engine;
+use pp_sim::machine::Machine;
+use pp_sim::types::{CoreId, Cycles, MemDomain};
+
+/// Measurement parameters shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpParams {
+    /// Simulated warmup before counters are read, in milliseconds.
+    pub warmup_ms: f64,
+    /// Simulated measurement window, in milliseconds.
+    pub window_ms: f64,
+    /// Data-structure scale.
+    pub scale: Scale,
+    /// Master seed; per-flow seeds are derived deterministically.
+    pub seed: u64,
+}
+
+impl ExpParams {
+    /// Paper-scale measurement (used by the `repro` harness).
+    pub fn paper() -> Self {
+        ExpParams { warmup_ms: 6.0, window_ms: 18.0, scale: Scale::Paper, seed: 42 }
+    }
+
+    /// Fast test-scale measurement (used by unit/integration tests).
+    pub fn quick() -> Self {
+        ExpParams { warmup_ms: 1.0, window_ms: 3.0, scale: Scale::Test, seed: 42 }
+    }
+
+    /// Warmup length in cycles on the given machine config.
+    pub fn warmup_cycles(&self, cfg: &MachineConfig) -> Cycles {
+        cfg.secs_to_cycles(self.warmup_ms / 1e3)
+    }
+
+    /// Window length in cycles on the given machine config.
+    pub fn window_cycles(&self, cfg: &MachineConfig) -> Cycles {
+        cfg.secs_to_cycles(self.window_ms / 1e3)
+    }
+}
+
+/// One flow pinned to a core, with its data in a chosen NUMA domain.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowPlacement {
+    /// The core that runs the flow.
+    pub core: CoreId,
+    /// The flow type.
+    pub flow: FlowType,
+    /// Where the flow's data structures (and NIC state) live.
+    pub domain: MemDomain,
+}
+
+/// A complete experiment setup.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Flow placements (distinct cores).
+    pub flows: Vec<FlowPlacement>,
+    /// Measurement parameters.
+    pub params: ExpParams,
+}
+
+/// Per-flow measurement output.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// Where the flow ran.
+    pub core: CoreId,
+    /// What it was.
+    pub flow: FlowType,
+    /// Derived per-second / per-packet metrics over the window.
+    pub metrics: DerivedMetrics,
+    /// Window totals.
+    pub counts: Counts,
+    /// Per-function-tag window deltas.
+    pub tags: Vec<(&'static str, Counts)>,
+    /// Bytes of simulated memory this flow's structures occupy.
+    pub working_set_bytes: u64,
+}
+
+/// A scenario's complete measurement.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// One result per flow, in scenario order.
+    pub flows: Vec<FlowResult>,
+    /// The window length used.
+    pub window_cycles: Cycles,
+}
+
+impl ScenarioResult {
+    /// Result for the flow on `core`.
+    pub fn on_core(&self, core: CoreId) -> Option<&FlowResult> {
+        self.flows.iter().find(|f| f.core == core)
+    }
+
+    /// Sum of L3 refs/sec over all flows except the one on `excluding`.
+    pub fn competing_refs_per_sec(&self, excluding: CoreId) -> f64 {
+        self.flows
+            .iter()
+            .filter(|f| f.core != excluding)
+            .map(|f| f.metrics.l3_refs_per_sec)
+            .sum()
+    }
+
+    /// Sum of L3 *misses*/sec (cache fills — the eviction pressure) over
+    /// all flows except the one on `excluding`. The fill-rate refinement of
+    /// the predictor keys on this; see [`Predictor`](crate::predictor).
+    pub fn competing_fills_per_sec(&self, excluding: CoreId) -> f64 {
+        self.flows
+            .iter()
+            .filter(|f| f.core != excluding)
+            .map(|f| f.metrics.l3_misses_per_sec)
+            .sum()
+    }
+}
+
+/// Derive a per-flow seed from the master seed and the flow's index.
+///
+/// The target flow of a co-run is always index 0, so its traffic and table
+/// seeds are identical in its solo run — drops compare like with like.
+fn flow_seed(master: u64, index: usize) -> u64 {
+    // SplitMix64 step for decorrelation.
+    let mut z = master ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Build and measure a scenario on a fresh Westmere machine.
+pub fn run_scenario(s: &Scenario) -> ScenarioResult {
+    let cfg = MachineConfig::westmere();
+    let mut machine = Machine::new(cfg);
+    let mut built = Vec::new();
+    for (i, p) in s.flows.iter().enumerate() {
+        let before = machine.allocator(p.domain).used();
+        let b = p.flow.build_with_structure(
+            &mut machine,
+            p.domain,
+            s.params.scale,
+            flow_seed(s.params.seed, i),
+            p.flow.structure_seed(s.params.seed),
+        );
+        let after = machine.allocator(p.domain).used();
+        built.push((*p, b, after - before));
+    }
+    let mut engine = Engine::new(machine);
+    let mut placements = Vec::with_capacity(built.len());
+    for (p, b, ws) in built {
+        engine.set_task(p.core, Box::new(b.task));
+        placements.push((p, ws));
+    }
+    let warmup = s.params.warmup_cycles(engine.machine.config());
+    let window = s.params.window_cycles(engine.machine.config());
+    let meas = engine.measure(warmup, window);
+
+    let flows = placements
+        .iter()
+        .map(|(p, ws)| {
+            let cm = meas.core(p.core).expect("flow core measured");
+            FlowResult {
+                core: p.core,
+                flow: p.flow,
+                metrics: cm.metrics,
+                counts: cm.counts.total,
+                tags: cm.counts.tags.clone(),
+                working_set_bytes: *ws,
+            }
+        })
+        .collect();
+    ScenarioResult { flows, window_cycles: window }
+}
+
+/// The Fig. 3 contention configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContentionConfig {
+    /// Fig. 3(a): contend only for the shared L3.
+    CacheOnly,
+    /// Fig. 3(b): contend only for the memory controller.
+    MemCtrlOnly,
+    /// Fig. 3(c): contend for both (the realistic co-location).
+    Both,
+}
+
+impl ContentionConfig {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ContentionConfig::CacheOnly => "cache-only",
+            ContentionConfig::MemCtrlOnly => "memctrl-only",
+            ContentionConfig::Both => "both",
+        }
+    }
+}
+
+/// A solo scenario: the target alone on core 0, data local (domain 0).
+pub fn solo_scenario(flow: FlowType, params: ExpParams) -> Scenario {
+    Scenario {
+        flows: vec![FlowPlacement { core: CoreId(0), flow, domain: MemDomain(0) }],
+        params,
+    }
+}
+
+/// A co-run scenario: the target on core 0 (socket 0, data local) plus
+/// `competitors` placed per the contention configuration.
+pub fn corun_scenario(
+    target: FlowType,
+    competitors: &[FlowType],
+    cfg: ContentionConfig,
+    params: ExpParams,
+) -> Scenario {
+    assert!(competitors.len() <= 5, "at most 5 competitors on the paper's platform");
+    let mut flows =
+        vec![FlowPlacement { core: CoreId(0), flow: target, domain: MemDomain(0) }];
+    for (i, &c) in competitors.iter().enumerate() {
+        let (core, domain) = match cfg {
+            // Same socket, remote data.
+            ContentionConfig::CacheOnly => (CoreId(1 + i as u16), MemDomain(1)),
+            // Other socket, data homed on the target's socket.
+            ContentionConfig::MemCtrlOnly => (CoreId(6 + i as u16), MemDomain(0)),
+            // Same socket, local data.
+            ContentionConfig::Both => (CoreId(1 + i as u16), MemDomain(0)),
+        };
+        flows.push(FlowPlacement { core, flow: c, domain });
+    }
+    Scenario { flows, params }
+}
+
+/// The outcome of a target-vs-competitors experiment: solo and contended
+/// throughput, the drop, and the measured competition.
+#[derive(Debug, Clone)]
+pub struct CoRunOutcome {
+    /// The target flow type.
+    pub target: FlowType,
+    /// Solo packets/sec.
+    pub solo_pps: f64,
+    /// Contended packets/sec.
+    pub corun_pps: f64,
+    /// Performance drop in percent: `(solo - corun) / solo * 100`.
+    pub drop_pct: f64,
+    /// Competitors' combined L3 refs/sec *measured during the co-run*.
+    pub competing_refs_per_sec: f64,
+    /// Competitors' combined L3 misses/sec (fills) during the co-run.
+    pub competing_fills_per_sec: f64,
+    /// The target's full solo measurement.
+    pub solo: FlowResult,
+    /// The target's full contended measurement.
+    pub corun: FlowResult,
+    /// All competitor measurements from the co-run.
+    pub competitors: Vec<FlowResult>,
+}
+
+/// Run solo + co-run and compute the drop. (For sweeps, prefer computing
+/// the solo once and using [`corun_against_solo`].)
+pub fn run_corun(
+    target: FlowType,
+    competitors: &[FlowType],
+    cfg: ContentionConfig,
+    params: ExpParams,
+) -> CoRunOutcome {
+    let solo = run_scenario(&solo_scenario(target, params));
+    corun_against_solo(&solo.flows[0], target, competitors, cfg, params)
+}
+
+/// Run only the co-run, reusing a previously measured solo result.
+pub fn corun_against_solo(
+    solo: &FlowResult,
+    target: FlowType,
+    competitors: &[FlowType],
+    cfg: ContentionConfig,
+    params: ExpParams,
+) -> CoRunOutcome {
+    let co = run_scenario(&corun_scenario(target, competitors, cfg, params));
+    let target_res = co.flows[0].clone();
+    let competing = co.competing_refs_per_sec(CoreId(0));
+    let competing_fills = co.competing_fills_per_sec(CoreId(0));
+    let solo_pps = solo.metrics.pps;
+    let corun_pps = target_res.metrics.pps;
+    CoRunOutcome {
+        target,
+        solo_pps,
+        corun_pps,
+        drop_pct: (solo_pps - corun_pps) / solo_pps * 100.0,
+        competing_refs_per_sec: competing,
+        competing_fills_per_sec: competing_fills,
+        solo: solo.clone(),
+        corun: target_res,
+        competitors: co.flows[1..].to_vec(),
+    }
+}
+
+/// Run `f` over `items` on `threads` worker threads, preserving order.
+/// Each item is an independent simulation, so results are identical to a
+/// sequential run.
+pub fn run_many<I, O, F>(items: Vec<I>, threads: usize, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let (in_tx, in_rx) = crossbeam::channel::unbounded::<(usize, I)>();
+    let (out_tx, out_rx) = crossbeam::channel::unbounded::<(usize, O)>();
+    for pair in items.into_iter().enumerate() {
+        in_tx.send(pair).unwrap();
+    }
+    drop(in_tx);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            let in_rx = in_rx.clone();
+            let out_tx = out_tx.clone();
+            let f = &f;
+            s.spawn(move || {
+                while let Ok((i, item)) = in_rx.recv() {
+                    out_tx.send((i, f(item))).unwrap();
+                }
+            });
+        }
+        drop(out_tx);
+    });
+    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    while let Ok((i, o)) = out_rx.recv() {
+        slots[i] = Some(o);
+    }
+    slots.into_iter().map(|o| o.expect("worker died")).collect()
+}
+
+/// Default worker-thread count for sweeps.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_scenario_measures_one_flow() {
+        let r = run_scenario(&solo_scenario(FlowType::Ip, ExpParams::quick()));
+        assert_eq!(r.flows.len(), 1);
+        assert!(r.flows[0].metrics.pps > 50_000.0);
+        assert!(r.flows[0].working_set_bytes > 1 << 20);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = run_scenario(&solo_scenario(FlowType::Mon, ExpParams::quick()));
+        let b = run_scenario(&solo_scenario(FlowType::Mon, ExpParams::quick()));
+        assert_eq!(a.flows[0].counts, b.flows[0].counts);
+    }
+
+    #[test]
+    fn corun_placements_match_fig3() {
+        let s = corun_scenario(
+            FlowType::Mon,
+            &[FlowType::SynMax; 5],
+            ContentionConfig::CacheOnly,
+            ExpParams::quick(),
+        );
+        // Competitors on the target's socket with remote data.
+        for p in &s.flows[1..] {
+            assert!(p.core.0 >= 1 && p.core.0 <= 5);
+            assert_eq!(p.domain, MemDomain(1));
+        }
+        let s = corun_scenario(
+            FlowType::Mon,
+            &[FlowType::SynMax; 5],
+            ContentionConfig::MemCtrlOnly,
+            ExpParams::quick(),
+        );
+        for p in &s.flows[1..] {
+            assert!(p.core.0 >= 6);
+            assert_eq!(p.domain, MemDomain(0));
+        }
+    }
+
+    #[test]
+    fn contention_reduces_throughput() {
+        let out = run_corun(
+            FlowType::Mon,
+            &[FlowType::SynMax; 5],
+            ContentionConfig::Both,
+            ExpParams::quick(),
+        );
+        assert!(
+            out.drop_pct > 2.0,
+            "5 SYN_MAX competitors must hurt MON, drop = {:.2}%",
+            out.drop_pct
+        );
+        assert!(out.competing_refs_per_sec > 1e6);
+        assert_eq!(out.competitors.len(), 5);
+    }
+
+    #[test]
+    fn cache_contention_dominates_memctrl() {
+        let cache = run_corun(
+            FlowType::Mon,
+            &[FlowType::SynMax; 5],
+            ContentionConfig::CacheOnly,
+            ExpParams::quick(),
+        );
+        let mem = run_corun(
+            FlowType::Mon,
+            &[FlowType::SynMax; 5],
+            ContentionConfig::MemCtrlOnly,
+            ExpParams::quick(),
+        );
+        assert!(
+            cache.drop_pct > mem.drop_pct,
+            "cache-only drop {:.1}% must exceed memctrl-only {:.1}%",
+            cache.drop_pct,
+            mem.drop_pct
+        );
+    }
+
+    #[test]
+    fn run_many_preserves_order_and_results() {
+        let items: Vec<u64> = (0..20).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        let par = run_many(items, 4, |x| x * x);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn flow_seed_is_stable_and_distinct() {
+        assert_eq!(flow_seed(42, 0), flow_seed(42, 0));
+        assert_ne!(flow_seed(42, 0), flow_seed(42, 1));
+        assert_ne!(flow_seed(42, 0), flow_seed(43, 0));
+    }
+}

@@ -1,0 +1,419 @@
+//! Persistence for profiling artifacts.
+//!
+//! The paper's method is *offline* profiling: an operator profiles each
+//! application once, stores the profiles, and predicts placements later —
+//! possibly on a different machine, possibly weeks later. This module
+//! serializes the two artifacts the predictor needs (solo profiles and
+//! sensitivity curves) to a plain CSV-based format and loads them back.
+//!
+//! The format is deliberately human-auditable (the operator should be able
+//! to eyeball a profile):
+//!
+//! ```text
+//! # predictable-pp profiles v1
+//! solo,MON,pps,1128000.0
+//! solo,MON,l3_refs_per_sec,20710000.0
+//! ...
+//! curve,MON,44020000.0,14.5
+//! curve,MON,77570000.0,20.3
+//! ```
+
+use crate::predictor::Predictor;
+use crate::profiler::SoloProfile;
+use crate::sensitivity::SensitivityCurve;
+use crate::workload::FlowType;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Magic first line of the format (current version).
+const HEADER: &str = "# predictable-pp profiles v2";
+/// Previous version, still accepted on load (it simply lacks `fillcurve`
+/// rows, so fill-rate prediction is unavailable from such stores).
+const HEADER_V1: &str = "# predictable-pp profiles v1";
+
+/// Errors from loading a profile store.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not in the expected format.
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn flow_type_from_name(name: &str) -> Option<FlowType> {
+    match name {
+        "IP" => Some(FlowType::Ip),
+        "MON" => Some(FlowType::Mon),
+        "FW" => Some(FlowType::Fw),
+        "RE" => Some(FlowType::Re),
+        "VPN" => Some(FlowType::Vpn),
+        "DPI" => Some(FlowType::Dpi),
+        "NAT" => Some(FlowType::Nat),
+        "CLASS" => Some(FlowType::Class),
+        "SYN_MAX" => Some(FlowType::SynMax),
+        other => {
+            // SYN<level> of an 8-level ramp (the standard profiling ramp).
+            let level: u8 = other.strip_prefix("SYN")?.parse().ok()?;
+            Some(FlowType::Syn { level, levels: 8 })
+        }
+    }
+}
+
+/// The serializable subset of a solo profile (everything prediction needs).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StoredProfile {
+    /// Packets/sec solo.
+    pub pps: f64,
+    /// L3 refs/sec solo (the aggressiveness metric).
+    pub l3_refs_per_sec: f64,
+    /// L3 hits/sec solo (the sensitivity metric).
+    pub l3_hits_per_sec: f64,
+    /// Cycles per packet solo.
+    pub cycles_per_packet: f64,
+    /// Working set in bytes (for the Appendix A model).
+    pub working_set_bytes: f64,
+}
+
+impl StoredProfile {
+    /// Extract from a full profile.
+    pub fn from_profile(p: &SoloProfile) -> Self {
+        StoredProfile {
+            pps: p.pps,
+            l3_refs_per_sec: p.l3_refs_per_sec,
+            l3_hits_per_sec: p.l3_hits_per_sec,
+            cycles_per_packet: p.cycles_per_packet,
+            working_set_bytes: p.working_set_bytes as f64,
+        }
+    }
+}
+
+/// A saved/loaded set of profiling artifacts.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileStore {
+    /// Solo metrics per type.
+    pub solos: HashMap<FlowType, StoredProfile>,
+    /// Sensitivity curves per type (drop vs competing refs/sec).
+    pub curves: HashMap<FlowType, SensitivityCurve>,
+    /// Fill-rate curves per type (drop vs competing misses/sec); empty
+    /// when loaded from a v1 store.
+    pub fill_curves: HashMap<FlowType, SensitivityCurve>,
+}
+
+impl ProfileStore {
+    /// Capture a predictor's artifacts.
+    pub fn from_predictor(p: &Predictor) -> Self {
+        let mut store = ProfileStore::default();
+        for t in p.types() {
+            if let Some(solo) = p.solo(t) {
+                store.solos.insert(t, StoredProfile::from_profile(solo));
+            }
+            if let Some(curve) = p.curve(t) {
+                store.curves.insert(t, curve.clone());
+            }
+            if let Some(curve) = p.fill_curve(t) {
+                store.fill_curves.insert(t, curve.clone());
+            }
+        }
+        store
+    }
+
+    /// Serialize to the CSV-based text format.
+    pub fn to_string_repr(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        let mut types: Vec<&FlowType> = self.solos.keys().collect();
+        types.sort();
+        for t in &types {
+            let s = &self.solos[t];
+            let n = t.name();
+            let _ = writeln!(out, "solo,{n},pps,{}", s.pps);
+            let _ = writeln!(out, "solo,{n},l3_refs_per_sec,{}", s.l3_refs_per_sec);
+            let _ = writeln!(out, "solo,{n},l3_hits_per_sec,{}", s.l3_hits_per_sec);
+            let _ = writeln!(out, "solo,{n},cycles_per_packet,{}", s.cycles_per_packet);
+            let _ = writeln!(out, "solo,{n},working_set_bytes,{}", s.working_set_bytes);
+        }
+        let mut ctypes: Vec<&FlowType> = self.curves.keys().collect();
+        ctypes.sort();
+        for t in &ctypes {
+            for &(x, y) in self.curves[t].points() {
+                let _ = writeln!(out, "curve,{},{x},{y}", t.name());
+            }
+        }
+        let mut ftypes: Vec<&FlowType> = self.fill_curves.keys().collect();
+        ftypes.sort();
+        for t in &ftypes {
+            for &(x, y) in self.fill_curves[t].points() {
+                let _ = writeln!(out, "fillcurve,{},{x},{y}", t.name());
+            }
+        }
+        out
+    }
+
+    /// Parse the text format.
+    pub fn from_string_repr(text: &str) -> Result<Self, PersistError> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h.trim() == HEADER || h.trim() == HEADER_V1 => {}
+            other => {
+                return Err(PersistError::Format(format!(
+                    "missing header, found {other:?}"
+                )))
+            }
+        }
+        let mut store = ProfileStore::default();
+        let mut curve_points: HashMap<FlowType, Vec<(f64, f64)>> = HashMap::new();
+        let mut fill_points: HashMap<FlowType, Vec<(f64, f64)>> = HashMap::new();
+        for (lineno, line) in lines.enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            let bad = |m: &str| PersistError::Format(format!("line {}: {m}", lineno + 2));
+            match fields.as_slice() {
+                ["solo", name, key, value] => {
+                    let t = flow_type_from_name(name)
+                        .ok_or_else(|| bad(&format!("unknown flow type {name}")))?;
+                    let v: f64 =
+                        value.parse().map_err(|_| bad(&format!("bad number {value}")))?;
+                    let e = store.solos.entry(t).or_default();
+                    match *key {
+                        "pps" => e.pps = v,
+                        "l3_refs_per_sec" => e.l3_refs_per_sec = v,
+                        "l3_hits_per_sec" => e.l3_hits_per_sec = v,
+                        "cycles_per_packet" => e.cycles_per_packet = v,
+                        "working_set_bytes" => e.working_set_bytes = v,
+                        other => return Err(bad(&format!("unknown solo key {other}"))),
+                    }
+                }
+                ["curve", name, x, y] | ["fillcurve", name, x, y] => {
+                    let t = flow_type_from_name(name)
+                        .ok_or_else(|| bad(&format!("unknown flow type {name}")))?;
+                    let x: f64 = x.parse().map_err(|_| bad(&format!("bad number {x}")))?;
+                    let y: f64 = y.parse().map_err(|_| bad(&format!("bad number {y}")))?;
+                    if fields[0] == "curve" {
+                        curve_points.entry(t).or_default().push((x, y));
+                    } else {
+                        fill_points.entry(t).or_default().push((x, y));
+                    }
+                }
+                _ => {
+                    return Err(bad(
+                        "expected 'solo,<type>,<key>,<v>' or '[fill]curve,<type>,<x>,<y>'",
+                    ))
+                }
+            }
+        }
+        for (t, pts) in curve_points {
+            store.curves.insert(t, SensitivityCurve::from_points(pts));
+        }
+        for (t, pts) in fill_points {
+            store.fill_curves.insert(t, SensitivityCurve::from_points(pts));
+        }
+        Ok(store)
+    }
+
+    /// Save to a file (creating parent directories).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_string_repr())?;
+        Ok(())
+    }
+
+    /// Load from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Self::from_string_repr(&std::fs::read_to_string(path)?)
+    }
+
+    /// Predict a target's drop from the stored artifacts (the paper's
+    /// method, applied to loaded profiles).
+    pub fn predict_drop(&self, target: FlowType, competitors: &[FlowType]) -> Option<f64> {
+        let curve = self.curves.get(&target)?;
+        let mut competition = 0.0;
+        for c in competitors {
+            competition += self.solos.get(c)?.l3_refs_per_sec;
+        }
+        Some(curve.interpolate(competition))
+    }
+
+    /// Predict with the fill-rate refinement from stored artifacts
+    /// (`None` when the store is v1 and has no fill curves, or a type is
+    /// missing). Solo misses/sec is derived as refs − hits.
+    pub fn predict_drop_fillrate(
+        &self,
+        target: FlowType,
+        competitors: &[FlowType],
+    ) -> Option<f64> {
+        let curve = self.fill_curves.get(&target)?;
+        let mut competition = 0.0;
+        for c in competitors {
+            let s = self.solos.get(c)?;
+            competition += s.l3_refs_per_sec - s.l3_hits_per_sec;
+        }
+        Some(curve.interpolate(competition))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ProfileStore {
+        let mut s = ProfileStore::default();
+        s.solos.insert(
+            FlowType::Mon,
+            StoredProfile {
+                pps: 1.128e6,
+                l3_refs_per_sec: 20.7e6,
+                l3_hits_per_sec: 15.7e6,
+                cycles_per_packet: 2482.0,
+                working_set_bytes: 35e6,
+            },
+        );
+        s.solos.insert(
+            FlowType::Fw,
+            StoredProfile {
+                pps: 0.112e6,
+                l3_refs_per_sec: 2.1e6,
+                l3_hits_per_sec: 1.2e6,
+                cycles_per_packet: 24979.0,
+                working_set_bytes: 35e6,
+            },
+        );
+        s.curves.insert(
+            FlowType::Mon,
+            SensitivityCurve::from_points(vec![(50e6, 8.0), (100e6, 11.0), (300e6, 14.0)]),
+        );
+        s
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let s = sample_store();
+        let text = s.to_string_repr();
+        let back = ProfileStore::from_string_repr(&text).unwrap();
+        assert_eq!(back.solos[&FlowType::Mon], s.solos[&FlowType::Mon]);
+        assert_eq!(back.solos[&FlowType::Fw], s.solos[&FlowType::Fw]);
+        assert_eq!(
+            back.curves[&FlowType::Mon].points(),
+            s.curves[&FlowType::Mon].points()
+        );
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("pp-persist-test");
+        let path = dir.join("profiles.csv");
+        sample_store().save(&path).unwrap();
+        let back = ProfileStore::load(&path).unwrap();
+        assert_eq!(back.solos.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prediction_from_loaded_store() {
+        let s = sample_store();
+        let text = s.to_string_repr();
+        let loaded = ProfileStore::from_string_repr(&text).unwrap();
+        // 5 FW competitors: 10.5M refs/sec -> interpolated below first knot.
+        let d = loaded.predict_drop(FlowType::Mon, &[FlowType::Fw; 5]).unwrap();
+        assert!(d > 0.0 && d < 8.0, "drop = {d}");
+        // Unknown competitor type -> None.
+        assert!(loaded.predict_drop(FlowType::Mon, &[FlowType::Re]).is_none());
+    }
+
+    #[test]
+    fn rejects_bad_header_and_rows() {
+        assert!(ProfileStore::from_string_repr("nope").is_err());
+        let bad = format!("{HEADER}\nsolo,MON,pps,not_a_number\n");
+        assert!(ProfileStore::from_string_repr(&bad).is_err());
+        let bad = format!("{HEADER}\nsolo,WAT,pps,1\n");
+        assert!(ProfileStore::from_string_repr(&bad).is_err());
+        let bad = format!("{HEADER}\ngarbage row\n");
+        assert!(ProfileStore::from_string_repr(&bad).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_tolerated() {
+        let text = format!("{HEADER}\n\n# a comment\nsolo,IP,pps,1000\n");
+        let s = ProfileStore::from_string_repr(&text).unwrap();
+        assert_eq!(s.solos[&FlowType::Ip].pps, 1000.0);
+    }
+
+    #[test]
+    fn syn_names_roundtrip() {
+        assert_eq!(flow_type_from_name("SYN3"), Some(FlowType::Syn { level: 3, levels: 8 }));
+        assert_eq!(flow_type_from_name("SYN_MAX"), Some(FlowType::SynMax));
+        assert_eq!(flow_type_from_name("IP"), Some(FlowType::Ip));
+        assert_eq!(flow_type_from_name("DPI"), Some(FlowType::Dpi));
+        assert_eq!(flow_type_from_name("NAT"), Some(FlowType::Nat));
+        assert_eq!(flow_type_from_name("CLASS"), Some(FlowType::Class));
+        assert_eq!(flow_type_from_name("NOPE"), None);
+    }
+
+    #[test]
+    fn fill_curves_roundtrip_and_predict() {
+        let mut s = sample_store();
+        s.fill_curves.insert(
+            FlowType::Mon,
+            SensitivityCurve::from_points(vec![(10e6, 6.0), (40e6, 12.0)]),
+        );
+        let text = s.to_string_repr();
+        assert!(text.starts_with("# predictable-pp profiles v2"));
+        let back = ProfileStore::from_string_repr(&text).unwrap();
+        assert_eq!(
+            back.fill_curves[&FlowType::Mon].points(),
+            s.fill_curves[&FlowType::Mon].points()
+        );
+        // 5 FW competitors: misses/sec = (2.1 - 1.2) M x 5 = 4.5M.
+        let d = back.predict_drop_fillrate(FlowType::Mon, &[FlowType::Fw; 5]).unwrap();
+        assert!(d > 0.0 && d < 6.0, "drop = {d}");
+    }
+
+    #[test]
+    fn v1_stores_still_load_without_fill_curves() {
+        let s = sample_store();
+        let v2 = s.to_string_repr();
+        let v1_text = v2.replace("profiles v2", "profiles v1");
+        let back = ProfileStore::from_string_repr(&v1_text).unwrap();
+        assert!(!back.curves.is_empty());
+        assert!(back.predict_drop_fillrate(FlowType::Mon, &[FlowType::Fw]).is_none());
+    }
+
+    #[test]
+    fn from_real_predictor() {
+        use crate::experiment::ExpParams;
+        let p = Predictor::profile(&[FlowType::Fw], 2, ExpParams::quick(), 2);
+        let store = ProfileStore::from_predictor(&p);
+        assert!(store.solos.contains_key(&FlowType::Fw));
+        assert!(store.curves.contains_key(&FlowType::Fw));
+        let text = store.to_string_repr();
+        let back = ProfileStore::from_string_repr(&text).unwrap();
+        // Predictions agree between live predictor and stored artifacts.
+        let live = p.predict_drop(FlowType::Fw, &[FlowType::Fw; 5]);
+        let stored = back.predict_drop(FlowType::Fw, &[FlowType::Fw; 5]).unwrap();
+        assert!((live - stored).abs() < 1e-9);
+    }
+}

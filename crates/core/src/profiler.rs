@@ -1,0 +1,130 @@
+//! Offline profiling: the solo-run characteristics of Table 1, plus the
+//! working-set figures the analytical model needs.
+
+use crate::experiment::{run_many, run_scenario, solo_scenario, ExpParams, FlowResult};
+use crate::workload::FlowType;
+
+/// One row of Table 1 (plus extras used elsewhere).
+#[derive(Debug, Clone)]
+pub struct SoloProfile {
+    /// The profiled type.
+    pub flow: FlowType,
+    /// Packets per second.
+    pub pps: f64,
+    /// Cycles per instruction.
+    pub cpi: f64,
+    /// L3 references per second.
+    pub l3_refs_per_sec: f64,
+    /// L3 hits per second.
+    pub l3_hits_per_sec: f64,
+    /// Cycles per packet.
+    pub cycles_per_packet: f64,
+    /// L3 references per packet.
+    pub l3_refs_per_packet: f64,
+    /// L3 misses per packet.
+    pub l3_misses_per_packet: f64,
+    /// L2 hits per packet.
+    pub l2_hits_per_packet: f64,
+    /// L3 hits per packet (used for conversion-rate math).
+    pub l3_hits_per_packet: f64,
+    /// Instructions per packet.
+    pub instructions_per_packet: f64,
+    /// Simulated footprint of the flow's data structures, in bytes.
+    pub working_set_bytes: u64,
+    /// The full underlying measurement (per-tag counters etc.).
+    pub raw: FlowResult,
+}
+
+impl SoloProfile {
+    /// Extract the profile from a measured solo flow.
+    pub fn from_result(r: &FlowResult) -> Self {
+        SoloProfile {
+            flow: r.flow,
+            pps: r.metrics.pps,
+            cpi: r.metrics.cpi,
+            l3_refs_per_sec: r.metrics.l3_refs_per_sec,
+            l3_hits_per_sec: r.metrics.l3_hits_per_sec,
+            cycles_per_packet: r.metrics.cycles_per_packet,
+            l3_refs_per_packet: r.metrics.l3_refs_per_packet,
+            l3_misses_per_packet: r.metrics.l3_misses_per_packet,
+            l2_hits_per_packet: r.metrics.l2_hits_per_packet,
+            l3_hits_per_packet: r.metrics.l3_hits_per_packet,
+            instructions_per_packet: r.metrics.instructions_per_packet,
+            working_set_bytes: r.working_set_bytes,
+            raw: r.clone(),
+        }
+    }
+
+    /// Profile one flow type solo.
+    pub fn measure(flow: FlowType, params: ExpParams) -> Self {
+        let res = run_scenario(&solo_scenario(flow, params));
+        Self::from_result(&res.flows[0])
+    }
+
+    /// Profile several types (parallel across host threads).
+    pub fn measure_all(flows: &[FlowType], params: ExpParams, threads: usize) -> Vec<Self> {
+        run_many(flows.to_vec(), threads, |f| Self::measure(f, params))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::REALISTIC;
+
+    #[test]
+    fn profile_has_consistent_metrics() {
+        let p = SoloProfile::measure(FlowType::Mon, ExpParams::quick());
+        assert!(p.pps > 50_000.0);
+        assert!(p.cpi > 0.2 && p.cpi < 10.0, "cpi = {}", p.cpi);
+        // hits + misses = refs (per packet).
+        let sum = p.l3_hits_per_packet + p.l3_misses_per_packet;
+        assert!(
+            (sum - p.l3_refs_per_packet).abs() < 0.01 * p.l3_refs_per_packet + 0.01,
+            "hits {} + misses {} != refs {}",
+            p.l3_hits_per_packet,
+            p.l3_misses_per_packet,
+            p.l3_refs_per_packet
+        );
+        // refs/sec = refs/packet * pps (within rounding).
+        let rps = p.l3_refs_per_packet * p.pps;
+        assert!((rps - p.l3_refs_per_sec).abs() < 0.02 * p.l3_refs_per_sec + 1.0);
+    }
+
+    #[test]
+    fn measure_all_covers_requested_types() {
+        let profiles =
+            SoloProfile::measure_all(&[FlowType::Ip, FlowType::Fw], ExpParams::quick(), 2);
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].flow, FlowType::Ip);
+        assert_eq!(profiles[1].flow, FlowType::Fw);
+    }
+
+    #[test]
+    fn sensitivity_ordering_mon_vs_fw() {
+        // MON achieves far more L3 hits/sec than FW (Table 1's key
+        // sensitivity ordering) even at test scale.
+        let profiles = SoloProfile::measure_all(
+            &[FlowType::Mon, FlowType::Fw],
+            ExpParams::quick(),
+            2,
+        );
+        let mon = &profiles[0];
+        let fw = &profiles[1];
+        assert!(
+            mon.l3_hits_per_sec > fw.l3_hits_per_sec,
+            "MON hits/sec {} must exceed FW {}",
+            mon.l3_hits_per_sec,
+            fw.l3_hits_per_sec
+        );
+    }
+
+    #[test]
+    fn realistic_profiles_all_measure() {
+        let profiles = SoloProfile::measure_all(&REALISTIC, ExpParams::quick(), 2);
+        for p in &profiles {
+            assert!(p.pps > 10_000.0, "{} pps = {}", p.flow, p.pps);
+            assert!(p.working_set_bytes > 0);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Sensitivity curves: a target's performance drop as a function of the
+//! competing L3 refs/sec, measured by co-running it against a ramp of SYN
+//! flows (the paper's §4 step 2, plotted in Figs. 4 and 5).
+
+use crate::experiment::{run_many, ContentionConfig, CoRunOutcome, ExpParams};
+use crate::workload::FlowType;
+
+/// A measured (or constructed) drop-vs-competition curve.
+///
+/// Points are `(competing L3 refs/sec, drop %)`, sorted by the x value,
+/// always anchored at `(0, 0)`.
+#[derive(Debug, Clone)]
+pub struct SensitivityCurve {
+    points: Vec<(f64, f64)>,
+}
+
+impl SensitivityCurve {
+    /// Build from raw points; `(0,0)` is added, points are sorted, and
+    /// drops are clamped at zero (a measured drop can come out marginally
+    /// negative when contention is nil).
+    pub fn from_points(pts: Vec<(f64, f64)>) -> Self {
+        let mut pts: Vec<(f64, f64)> = pts.into_iter().map(|(x, y)| (x, y.max(0.0))).collect();
+        pts.push((0.0, 0.0));
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        pts.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-9);
+        SensitivityCurve { points: pts }
+    }
+
+    /// The curve's points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Piecewise-linear interpolation, clamped to the last point beyond the
+    /// measured range (the paper's flattening makes extrapolation by
+    /// clamping the right call).
+    pub fn interpolate(&self, competing_refs_per_sec: f64) -> f64 {
+        let x = competing_refs_per_sec.max(0.0);
+        let pts = &self.points;
+        if pts.is_empty() {
+            return 0.0;
+        }
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        for w in pts.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if x <= x1 {
+                if (x1 - x0).abs() < f64::EPSILON {
+                    return y1;
+                }
+                return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+            }
+        }
+        pts.last().unwrap().1
+    }
+
+    /// Measure a target's curve by co-running it with 5 SYN flows per ramp
+    /// level in the given configuration (the paper uses all three of
+    /// Fig. 3's configurations; Fig. 5/prediction use `Both`).
+    ///
+    /// The x coordinate of each point is the competitors' refs/sec as
+    /// *measured during that co-run* — exactly what the paper plots.
+    pub fn measure(
+        target: FlowType,
+        cfg: ContentionConfig,
+        levels: u8,
+        params: ExpParams,
+        threads: usize,
+    ) -> (Self, Vec<CoRunOutcome>) {
+        let solo = crate::experiment::run_scenario(&crate::experiment::solo_scenario(
+            target, params,
+        ));
+        Self::measure_with_solo(&solo.flows[0], target, cfg, levels, params, threads)
+    }
+
+    /// Like [`measure`](Self::measure) but reusing an existing solo
+    /// measurement of the target (sweeps measure each solo exactly once).
+    pub fn measure_with_solo(
+        solo: &crate::experiment::FlowResult,
+        target: FlowType,
+        cfg: ContentionConfig,
+        levels: u8,
+        params: ExpParams,
+        threads: usize,
+    ) -> (Self, Vec<CoRunOutcome>) {
+        let (by_refs, _, outcomes) =
+            Self::measure_both_with_solo(solo, target, cfg, levels, params, threads);
+        (by_refs, outcomes)
+    }
+
+    /// Measure the SYN ramp once and extract **two** curves from the same
+    /// runs: drop vs competing *refs*/sec (the paper's x-axis) and drop vs
+    /// competing *fills*/sec (L3 misses — the eviction pressure). The
+    /// second curve powers the fill-rate prediction refinement for
+    /// workloads with hot-spot locality (see
+    /// [`Predictor`](crate::predictor::Predictor)).
+    pub fn measure_both_with_solo(
+        solo: &crate::experiment::FlowResult,
+        target: FlowType,
+        cfg: ContentionConfig,
+        levels: u8,
+        params: ExpParams,
+        threads: usize,
+    ) -> (Self, Self, Vec<CoRunOutcome>) {
+        let runs: Vec<u8> = (0..levels).collect();
+        let outcomes: Vec<CoRunOutcome> = run_many(runs, threads, |level| {
+            let syn = FlowType::Syn { level, levels };
+            crate::experiment::corun_against_solo(solo, target, &[syn; 5], cfg, params)
+        });
+        let by_refs = Self::from_points(
+            outcomes.iter().map(|o| (o.competing_refs_per_sec, o.drop_pct)).collect(),
+        );
+        let by_fills = Self::from_points(
+            outcomes.iter().map(|o| (o.competing_fills_per_sec, o.drop_pct)).collect(),
+        );
+        (by_refs, by_fills, outcomes)
+    }
+
+    /// Largest competing-refs/sec value on the curve.
+    pub fn max_x(&self) -> f64 {
+        self.points.last().map(|p| p.0).unwrap_or(0.0)
+    }
+
+    /// Largest drop on the curve.
+    pub fn max_drop(&self) -> f64 {
+        self.points.iter().map(|p| p.1).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> SensitivityCurve {
+        SensitivityCurve::from_points(vec![
+            (50e6, 20.0),
+            (100e6, 25.0),
+            (25e6, 12.0),
+        ])
+    }
+
+    #[test]
+    fn anchored_at_zero_and_sorted() {
+        let c = curve();
+        assert_eq!(c.points()[0], (0.0, 0.0));
+        assert!(c.points().windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn interpolates_linearly() {
+        let c = curve();
+        assert!((c.interpolate(12.5e6) - 6.0).abs() < 1e-9);
+        assert!((c.interpolate(37.5e6) - 16.0).abs() < 1e-9);
+        assert!((c.interpolate(75e6) - 22.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let c = curve();
+        assert_eq!(c.interpolate(-5.0), 0.0);
+        assert_eq!(c.interpolate(1e12), 25.0);
+        assert_eq!(c.max_drop(), 25.0);
+    }
+
+    #[test]
+    fn exact_points_returned() {
+        let c = curve();
+        assert!((c.interpolate(50e6) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_curve_is_monotonic_enough() {
+        // Quick-scale measurement: drop should broadly increase with
+        // competing refs/sec (exact monotonicity is not guaranteed at the
+        // measurement level, but the first and last points must order).
+        let (c, outcomes) = SensitivityCurve::measure(
+            crate::workload::FlowType::Mon,
+            crate::experiment::ContentionConfig::Both,
+            3,
+            crate::experiment::ExpParams::quick(),
+            2,
+        );
+        assert_eq!(outcomes.len(), 3);
+        assert!(c.points().len() >= 4);
+        let first_drop = c.points()[1].1;
+        let last_drop = c.points().last().unwrap().1;
+        assert!(
+            last_drop >= first_drop - 1.0,
+            "drop should grow with competition: first {first_drop:.1} last {last_drop:.1}"
+        );
+    }
+}

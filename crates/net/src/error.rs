@@ -1,0 +1,63 @@
+//! Error types for packet parsing and construction.
+
+/// Why a packet failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer is shorter than the header requires.
+    Truncated {
+        /// Which header was being parsed.
+        what: &'static str,
+        /// Bytes needed.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// A version/field value is not one this stack supports.
+    Unsupported {
+        /// Which field was unsupported.
+        what: &'static str,
+        /// The offending value.
+        value: u32,
+    },
+    /// The header checksum did not verify.
+    BadChecksum {
+        /// Which header failed verification.
+        what: &'static str,
+    },
+    /// A length field is inconsistent with the buffer.
+    BadLength {
+        /// Which header carried the bad length.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Truncated { what, need, have } => {
+                write!(f, "{what}: truncated (need {need} bytes, have {have})")
+            }
+            ParseError::Unsupported { what, value } => {
+                write!(f, "{what}: unsupported value {value}")
+            }
+            ParseError::BadChecksum { what } => write!(f, "{what}: bad checksum"),
+            ParseError::BadLength { what } => write!(f, "{what}: inconsistent length"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParseError::Truncated { what: "ipv4", need: 20, have: 7 };
+        assert!(e.to_string().contains("ipv4"));
+        assert!(e.to_string().contains("20"));
+        let e = ParseError::BadChecksum { what: "ipv4" };
+        assert!(e.to_string().contains("checksum"));
+    }
+}

@@ -1,0 +1,6 @@
+//! Deterministic generators for traffic, routing tables, and rule sets.
+
+pub mod prefixes;
+pub mod rules;
+pub mod signatures;
+pub mod traffic;

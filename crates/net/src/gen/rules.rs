@@ -1,0 +1,298 @@
+//! Firewall rule generation.
+//!
+//! The paper's FW workload checks every packet sequentially against 1000
+//! rules that the (random-address) input traffic never matches, so each
+//! packet pays the full scan — "which maximizes FW's sensitivity to
+//! contention". The never-matching generator places all rule sources in
+//! 240.0.0.0/4 (class E), which the traffic generator never emits.
+
+use crate::fivetuple::FlowKey;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One classification rule: prefix match on src/dst, range match on ports,
+/// optional protocol match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// Source network (address, prefix length).
+    pub src_net: (u32, u8),
+    /// Destination network (address, prefix length).
+    pub dst_net: (u32, u8),
+    /// Inclusive source-port range.
+    pub src_ports: (u16, u16),
+    /// Inclusive destination-port range.
+    pub dst_ports: (u16, u16),
+    /// Protocol to match, or `None` for any.
+    pub protocol: Option<u8>,
+}
+
+#[inline]
+fn prefix_match(net: (u32, u8), ip: u32) -> bool {
+    let (addr, len) = net;
+    if len == 0 {
+        return true;
+    }
+    let shift = 32 - len as u32;
+    (ip >> shift) == (addr >> shift)
+}
+
+impl Rule {
+    /// Whether a flow key matches this rule.
+    #[inline]
+    pub fn matches(&self, key: &FlowKey) -> bool {
+        let src = u32::from(key.src);
+        let dst = u32::from(key.dst);
+        prefix_match(self.src_net, src)
+            && prefix_match(self.dst_net, dst)
+            && (self.src_ports.0..=self.src_ports.1).contains(&key.src_port)
+            && (self.dst_ports.0..=self.dst_ports.1).contains(&key.dst_port)
+            && self.protocol.map(|p| p == key.protocol).unwrap_or(true)
+    }
+
+    /// A rule matching everything (useful in tests).
+    pub fn any() -> Rule {
+        Rule {
+            src_net: (0, 0),
+            dst_net: (0, 0),
+            src_ports: (0, u16::MAX),
+            dst_ports: (0, u16::MAX),
+            protocol: None,
+        }
+    }
+}
+
+/// Generate `n` rules that can never match traffic whose source addresses
+/// are ordinary unicast (first octet 1..=223): all rule sources live in
+/// class E space.
+pub fn generate_unmatchable_rules(n: usize, seed: u64) -> Vec<Rule> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            // Source in 240.0.0.0/4.
+            let src = 0xF000_0000u32 | (rng.random::<u32>() >> 4);
+            let src_len = rng.random_range(8..=28);
+            let dst: u32 = rng.random();
+            let dst_len = rng.random_range(0..=24);
+            let sp = rng.random::<u16>();
+            let dp = rng.random::<u16>();
+            Rule {
+                src_net: (canon(src, src_len), src_len),
+                dst_net: (canon(dst, dst_len), dst_len),
+                src_ports: (sp.min(sp ^ 0x00ff), sp.max(sp ^ 0x00ff)),
+                dst_ports: (dp.min(dp ^ 0x00ff), dp.max(dp ^ 0x00ff)),
+                protocol: if rng.random_bool(0.5) { Some(17) } else { None },
+            }
+        })
+        .collect()
+}
+
+/// Generate `n` rules where rule `i` exactly matches flows whose dst port is
+/// `base_port + i` (for functional tests that need hits).
+pub fn generate_port_rules(n: usize, base_port: u16) -> Vec<Rule> {
+    (0..n)
+        .map(|i| {
+            let port = base_port + i as u16;
+            Rule {
+                src_net: (0, 0),
+                dst_net: (0, 0),
+                src_ports: (0, u16::MAX),
+                dst_ports: (port, port),
+                protocol: None,
+            }
+        })
+        .collect()
+}
+
+fn canon(addr: u32, len: u8) -> u32 {
+    if len == 0 {
+        return 0;
+    }
+    let shift = 32 - len as u32;
+    (addr >> shift) << shift
+}
+
+/// The prefix-length pairs a multi-dimensional rule set draws from, with
+/// ClassBench-like weights: edge ACLs are dominated by (dst-specific) and
+/// (pair-specific) rules, with a tail of coarse aggregates.
+const TUPLE_POPULATION: [((u8, u8), u32); 15] = [
+    ((0, 8), 2),
+    ((0, 16), 6),
+    ((0, 24), 10),
+    ((8, 0), 2),
+    ((16, 0), 4),
+    ((24, 0), 4),
+    ((8, 8), 3),
+    ((16, 16), 12),
+    ((24, 16), 8),
+    ((16, 24), 12),
+    ((24, 24), 18),
+    ((32, 24), 6),
+    ((24, 32), 6),
+    ((32, 32), 5),
+    ((32, 16), 2),
+];
+
+/// Generate `n` multi-dimensional classification rules spanning a realistic
+/// population of prefix-length tuples, ending with a catch-all default rule
+/// (so classification always resolves). Rule index is priority: lower wins.
+///
+/// Sources and destinations are drawn from ordinary unicast space, so real
+/// traffic *can* match specific rules — unlike
+/// [`generate_unmatchable_rules`], which crafts the paper's
+/// full-scan-every-packet firewall workload.
+pub fn generate_classifier_rules(n: usize, seed: u64) -> Vec<Rule> {
+    assert!(n >= 1, "need room for the default rule");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC1A5_5EED);
+    let total_weight: u32 = TUPLE_POPULATION.iter().map(|&(_, w)| w).sum();
+    let mut rules: Vec<Rule> = (0..n - 1)
+        .map(|_| {
+            let mut pick = rng.random_range(0..total_weight);
+            let mut tuple = (24, 24);
+            for &((s, d), w) in &TUPLE_POPULATION {
+                if pick < w {
+                    tuple = (s, d);
+                    break;
+                }
+                pick -= w;
+            }
+            let (src_len, dst_len) = tuple;
+            let src: u32 = rng.random_range(0x0100_0000..0xE000_0000); // unicast
+            let dst: u32 = rng.random_range(0x0100_0000..0xE000_0000);
+            // Ports: mostly any, some well-known, some ranges.
+            let dst_ports = match rng.random_range(0..10) {
+                0..=6 => (0, u16::MAX),
+                7..=8 => {
+                    let p = rng.random_range(1..1024);
+                    (p, p)
+                }
+                _ => {
+                    let lo = rng.random_range(1024..60000);
+                    (lo, lo + rng.random_range(1..1000))
+                }
+            };
+            Rule {
+                src_net: (canon(src, src_len), src_len),
+                dst_net: (canon(dst, dst_len), dst_len),
+                src_ports: (0, u16::MAX),
+                dst_ports,
+                protocol: if rng.random_bool(0.4) { Some(17) } else { None },
+            }
+        })
+        .collect();
+    rules.push(Rule::any());
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(src: [u8; 4], dst: [u8; 4], sp: u16, dp: u16, proto: u8) -> FlowKey {
+        FlowKey {
+            src: Ipv4Addr::from(src),
+            dst: Ipv4Addr::from(dst),
+            protocol: proto,
+            src_port: sp,
+            dst_port: dp,
+        }
+    }
+
+    #[test]
+    fn any_rule_matches_everything() {
+        assert!(Rule::any().matches(&key([1, 2, 3, 4], [5, 6, 7, 8], 1, 2, 17)));
+    }
+
+    #[test]
+    fn prefix_and_port_and_proto_must_all_match() {
+        let r = Rule {
+            src_net: (u32::from(Ipv4Addr::new(10, 0, 0, 0)), 8),
+            dst_net: (u32::from(Ipv4Addr::new(192, 168, 0, 0)), 16),
+            src_ports: (1000, 2000),
+            dst_ports: (80, 80),
+            protocol: Some(6),
+        };
+        let good = key([10, 1, 2, 3], [192, 168, 9, 9], 1500, 80, 6);
+        assert!(r.matches(&good));
+        assert!(!r.matches(&key([11, 1, 2, 3], [192, 168, 9, 9], 1500, 80, 6)));
+        assert!(!r.matches(&key([10, 1, 2, 3], [192, 169, 9, 9], 1500, 80, 6)));
+        assert!(!r.matches(&key([10, 1, 2, 3], [192, 168, 9, 9], 999, 80, 6)));
+        assert!(!r.matches(&key([10, 1, 2, 3], [192, 168, 9, 9], 1500, 81, 6)));
+        assert!(!r.matches(&key([10, 1, 2, 3], [192, 168, 9, 9], 1500, 80, 17)));
+    }
+
+    #[test]
+    fn unmatchable_rules_never_match_unicast_traffic() {
+        use crate::gen::traffic::{TrafficGen, TrafficSpec};
+        let rules = generate_unmatchable_rules(1000, 5);
+        let mut g = TrafficGen::new(TrafficSpec::random_dst(64, 99));
+        for _ in 0..500 {
+            let k = g.next_packet().flow_key().unwrap();
+            assert!(rules.iter().all(|r| !r.matches(&k)), "rule matched {k}");
+        }
+    }
+
+    #[test]
+    fn port_rules_match_their_port_only() {
+        let rules = generate_port_rules(10, 5000);
+        let k = key([1, 1, 1, 1], [2, 2, 2, 2], 1234, 5003, 17);
+        let hits: Vec<usize> =
+            rules.iter().enumerate().filter(|(_, r)| r.matches(&k)).map(|(i, _)| i).collect();
+        assert_eq!(hits, vec![3]);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate_unmatchable_rules(100, 8), generate_unmatchable_rules(100, 8));
+    }
+
+    #[test]
+    fn classifier_rules_end_with_default_and_are_deterministic() {
+        let rules = generate_classifier_rules(500, 3);
+        assert_eq!(rules.len(), 500);
+        assert_eq!(*rules.last().unwrap(), Rule::any());
+        assert_eq!(rules, generate_classifier_rules(500, 3));
+    }
+
+    #[test]
+    fn classifier_rules_span_many_tuples() {
+        let rules = generate_classifier_rules(2000, 9);
+        let tuples: std::collections::HashSet<(u8, u8)> =
+            rules.iter().map(|r| (r.src_net.1, r.dst_net.1)).collect();
+        assert!(
+            tuples.len() >= 12,
+            "expected a diverse tuple population, got {}",
+            tuples.len()
+        );
+    }
+
+    #[test]
+    fn classifier_rules_are_canonical() {
+        // Prefix bits below the mask must be zero, or hashing on the masked
+        // key would diverge from matching.
+        for r in generate_classifier_rules(1000, 4) {
+            assert_eq!(r.src_net.0, canon(r.src_net.0, r.src_net.1));
+            assert_eq!(r.dst_net.0, canon(r.dst_net.0, r.dst_net.1));
+        }
+    }
+
+    #[test]
+    fn some_classifier_rules_match_real_traffic() {
+        use crate::gen::traffic::{TrafficGen, TrafficSpec};
+        // With coarse tuples like (0,8) present, a big rule set must match a
+        // noticeable share of random unicast traffic above the default rule.
+        let rules = generate_classifier_rules(4000, 11);
+        let mut g = TrafficGen::new(TrafficSpec::random_dst(64, 31));
+        let mut specific_hits = 0;
+        for _ in 0..500 {
+            let k = g.next_packet().flow_key().unwrap();
+            if rules[..rules.len() - 1].iter().any(|r| r.matches(&k)) {
+                specific_hits += 1;
+            }
+        }
+        assert!(
+            specific_hits > 25,
+            "only {specific_hits}/500 packets matched a non-default rule"
+        );
+    }
+}

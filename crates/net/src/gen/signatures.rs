@@ -1,0 +1,130 @@
+//! Signature-set generation for deep packet inspection.
+//!
+//! DPI is one of the "emerging types of packet processing" the paper's §6
+//! names as the reason programmable platforms exist. An IDS-style signature
+//! set has heavy prefix sharing (protocol keywords like `GET /`, `POST /`,
+//! `User-Agent:` start many rules), which is what gives the Aho-Corasick
+//! automaton its characteristic shallow-hot/deep-cold shape. The generator
+//! reproduces that structure deterministically: a pool of shared stems plus
+//! random tails.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Bounds on generated signature lengths (bytes). Real content strings are
+/// rarely shorter than 4 (too many false positives) and the hot part of the
+/// match is the first ~16 bytes.
+pub const MIN_SIG_LEN: usize = 4;
+/// See [`MIN_SIG_LEN`].
+pub const MAX_SIG_LEN: usize = 16;
+
+/// Fraction of signatures that extend a shared stem (per mille).
+const STEM_SHARE_PER_MILLE: u32 = 450;
+/// Number of distinct stems in the shared pool.
+const N_STEMS: usize = 24;
+/// Stem lengths.
+const STEM_LEN: std::ops::RangeInclusive<usize> = 3..=6;
+
+/// Printable-ish byte: letters, digits, a few separators — what content
+/// signatures actually look like. Using a restricted alphabet also makes
+/// accidental matches against random binary payloads essentially impossible
+/// (every signature byte is in a 70-symbol class, uniform payload bytes hit
+/// it with p < 0.28 per position).
+fn sig_byte(rng: &mut SmallRng) -> u8 {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789/:.-_ =%&?";
+    ALPHABET[rng.random_range(0..ALPHABET.len())]
+}
+
+/// Generate `n` unique signatures with realistic prefix sharing.
+///
+/// Deterministic in `(n, seed)`. No signature is empty; lengths are in
+/// [`MIN_SIG_LEN`]..=[`MAX_SIG_LEN`].
+pub fn generate_signatures(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5169_u64.rotate_left(32));
+    let stems: Vec<Vec<u8>> = (0..N_STEMS)
+        .map(|_| {
+            let len = rng.random_range(STEM_LEN);
+            (0..len).map(|_| sig_byte(&mut rng)).collect()
+        })
+        .collect();
+
+    let mut out: Vec<Vec<u8>> = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    while out.len() < n {
+        let mut sig = if rng.random_range(0..1000) < STEM_SHARE_PER_MILLE {
+            stems[rng.random_range(0..stems.len())].clone()
+        } else {
+            Vec::new()
+        };
+        let target = rng.random_range(MIN_SIG_LEN..=MAX_SIG_LEN).max(sig.len() + 1);
+        while sig.len() < target {
+            sig.push(sig_byte(&mut rng));
+        }
+        if seen.insert(sig.clone()) {
+            out.push(sig);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate_signatures(500, 7), generate_signatures(500, 7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(generate_signatures(100, 1), generate_signatures(100, 2));
+    }
+
+    #[test]
+    fn lengths_in_bounds_and_unique() {
+        let sigs = generate_signatures(1000, 3);
+        assert_eq!(sigs.len(), 1000);
+        let distinct: std::collections::HashSet<_> = sigs.iter().collect();
+        assert_eq!(distinct.len(), 1000, "signatures must be unique");
+        for s in &sigs {
+            assert!(
+                (MIN_SIG_LEN..=MAX_SIG_LEN).contains(&s.len()),
+                "length {} out of bounds",
+                s.len()
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_sharing_exists() {
+        // A meaningful fraction of signatures must share a 3-byte prefix with
+        // another signature — that's the IDS ruleset structure the automaton
+        // shape depends on.
+        let sigs = generate_signatures(1000, 11);
+        let mut prefixes = std::collections::HashMap::new();
+        for s in &sigs {
+            *prefixes.entry(&s[..3]).or_insert(0u32) += 1;
+        }
+        let shared: u32 =
+            prefixes.values().filter(|&&c| c > 1).sum();
+        assert!(
+            shared > 200,
+            "expected heavy prefix sharing, only {shared}/1000 share a 3-byte prefix"
+        );
+    }
+
+    #[test]
+    fn random_payload_rarely_contains_a_signature() {
+        use rand::RngCore;
+        let sigs = generate_signatures(200, 5);
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut hay = vec![0u8; 4096];
+        rng.fill_bytes(&mut hay);
+        let hits = sigs
+            .iter()
+            .filter(|s| hay.windows(s.len()).any(|w| w == s.as_slice()))
+            .count();
+        assert_eq!(hits, 0, "uniform random bytes should not contain signatures");
+    }
+}

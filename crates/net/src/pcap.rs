@@ -1,0 +1,78 @@
+//! Minimal libpcap file writer for debugging packet traces (the smoltcp
+//! convention of shipping a `--pcap` escape hatch with every example).
+
+use std::io::{self, Write};
+
+/// Classic pcap magic (microsecond timestamps, native byte order).
+const MAGIC: u32 = 0xa1b2_c3d4;
+/// LINKTYPE_ETHERNET.
+const LINKTYPE_EN10MB: u32 = 1;
+
+/// Streaming pcap writer over any [`Write`] sink.
+pub struct PcapWriter<W: Write> {
+    sink: W,
+    packets: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Write the global header and return the writer.
+    pub fn new(mut sink: W) -> io::Result<Self> {
+        sink.write_all(&MAGIC.to_le_bytes())?;
+        sink.write_all(&2u16.to_le_bytes())?; // version major
+        sink.write_all(&4u16.to_le_bytes())?; // version minor
+        sink.write_all(&0i32.to_le_bytes())?; // thiszone
+        sink.write_all(&0u32.to_le_bytes())?; // sigfigs
+        sink.write_all(&65535u32.to_le_bytes())?; // snaplen
+        sink.write_all(&LINKTYPE_EN10MB.to_le_bytes())?;
+        Ok(PcapWriter { sink, packets: 0 })
+    }
+
+    /// Append one frame stamped at `ts_micros` microseconds.
+    pub fn write_packet(&mut self, ts_micros: u64, frame: &[u8]) -> io::Result<()> {
+        let secs = (ts_micros / 1_000_000) as u32;
+        let micros = (ts_micros % 1_000_000) as u32;
+        self.sink.write_all(&secs.to_le_bytes())?;
+        self.sink.write_all(&micros.to_le_bytes())?;
+        self.sink.write_all(&(frame.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&(frame.len() as u32).to_le_bytes())?;
+        self.sink.write_all(frame)?;
+        self.packets += 1;
+        Ok(())
+    }
+
+    /// Packets written so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Flush and return the underlying sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_records_layout() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_packet(1_500_000, &[0xAAu8; 60]).unwrap();
+        w.write_packet(2_000_001, &[0xBBu8; 64]).unwrap();
+        assert_eq!(w.packets(), 2);
+        let buf = w.finish().unwrap();
+
+        assert_eq!(&buf[0..4], &MAGIC.to_le_bytes());
+        assert_eq!(buf.len(), 24 + 16 + 60 + 16 + 64);
+        // First record header: ts = 1.5 s, len 60.
+        assert_eq!(&buf[24..28], &1u32.to_le_bytes());
+        assert_eq!(&buf[28..32], &500_000u32.to_le_bytes());
+        assert_eq!(&buf[32..36], &60u32.to_le_bytes());
+        // Second record after 60 payload bytes.
+        let r2 = 24 + 16 + 60;
+        assert_eq!(&buf[r2..r2 + 4], &2u32.to_le_bytes());
+        assert_eq!(&buf[r2 + 4..r2 + 8], &1u32.to_le_bytes());
+    }
+}

@@ -1,0 +1,418 @@
+//! A set-associative, write-back, write-allocate cache with true-LRU
+//! replacement.
+//!
+//! One [`Cache`] instance models one level (L1d, L2, or a socket's shared
+//! L3). The same structure serves all levels; the L3 additionally uses the
+//! per-line *presence mask* as an in-cache coherence directory recording
+//! which cores' private caches may hold the line (the L3 is inclusive, as on
+//! the paper's Westmere platform, so evicting an L3 line must back-invalidate
+//! private copies — the caller drives that using the mask returned by
+//! [`Cache::insert`]).
+//!
+//! The paper's central phenomena — hit-to-miss conversion under contention
+//! and its flattening shape (Figs. 5, 7) — emerge from exactly this LRU
+//! sharing behaviour, so this module is deliberately a faithful, unclever
+//! implementation rather than an approximation.
+
+use crate::config::CacheGeom;
+use crate::types::{line_of, Addr, CACHE_LINE_SHIFT};
+
+/// Per-line metadata. `tag` stores the full line address (address >> 6) for
+/// simplicity; a real cache would store only the bits above the index.
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    lru: u64,
+    valid: bool,
+    dirty: bool,
+    /// Bitmask of cores whose private caches may hold this line (L3 only;
+    /// imprecise: bits are set on fill/hit, never cleared on silent private
+    /// eviction, which only causes harmless spurious invalidations).
+    presence: u16,
+}
+
+/// Result of a cache lookup-with-fill (see [`Cache::access`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// The line was present.
+    Hit,
+    /// The line was absent. The caller must fetch it from the next level and
+    /// then call [`Cache::insert`].
+    Miss,
+}
+
+/// A line evicted by an insertion, reported so the caller can write back
+/// dirty data and (for an inclusive L3) back-invalidate private copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Line-granular address of the victim.
+    pub line_addr: Addr,
+    /// Whether the victim held modified data.
+    pub dirty: bool,
+    /// Presence mask of the victim (meaningful for the L3 directory).
+    pub presence: u16,
+}
+
+/// Aggregate statistics for one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Valid lines displaced by fills.
+    pub evictions: u64,
+    /// Evictions of dirty lines (write-backs to the next level).
+    pub writebacks: u64,
+    /// Lines removed by explicit invalidation.
+    pub invalidations: u64,
+}
+
+/// One level of cache. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    lines: Vec<Line>,
+    num_sets: u64,
+    ways: usize,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build an empty cache with the given geometry.
+    pub fn new(geom: CacheGeom) -> Self {
+        let num_sets = geom.num_sets();
+        let ways = geom.ways as usize;
+        Cache {
+            lines: vec![Line::default(); (num_sets as usize) * ways],
+            num_sets,
+            ways,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.num_sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Statistics accumulated since construction (or the last
+    /// [`reset_stats`](Self::reset_stats)).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zero the statistics (contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_range(&self, line_addr: u64) -> (usize, usize) {
+        let tag = line_addr >> CACHE_LINE_SHIFT;
+        let set = (tag % self.num_sets) as usize;
+        let start = set * self.ways;
+        (start, start + self.ways)
+    }
+
+    /// Look up a line; on a hit, refresh LRU, optionally mark dirty, and
+    /// merge `presence` bits. On a miss, nothing changes — the caller
+    /// fetches from the next level and calls [`insert`](Self::insert).
+    ///
+    /// `addr` may be any byte address; it is truncated to its line.
+    #[inline]
+    pub fn access(&mut self, addr: Addr, write: bool, presence: u16) -> LookupResult {
+        let line_addr = line_of(addr);
+        let tag = line_addr >> CACHE_LINE_SHIFT;
+        let (start, end) = self.set_range(line_addr);
+        self.clock += 1;
+        for i in start..end {
+            let l = &mut self.lines[i];
+            if l.valid && l.tag == tag {
+                l.lru = self.clock;
+                l.dirty |= write;
+                l.presence |= presence;
+                self.stats.hits += 1;
+                return LookupResult::Hit;
+            }
+        }
+        self.stats.misses += 1;
+        LookupResult::Miss
+    }
+
+    /// Whether the line is currently resident (no LRU update, no stats).
+    pub fn probe(&self, addr: Addr) -> bool {
+        let line_addr = line_of(addr);
+        let tag = line_addr >> CACHE_LINE_SHIFT;
+        let (start, end) = self.set_range(line_addr);
+        self.lines[start..end].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// If the line is resident, report whether it is dirty (no LRU update,
+    /// no stats) — used by the coherence path to detect a modified copy in
+    /// another core's private cache.
+    pub fn probe_dirty(&self, addr: Addr) -> Option<bool> {
+        let line_addr = line_of(addr);
+        let tag = line_addr >> CACHE_LINE_SHIFT;
+        let (start, end) = self.set_range(line_addr);
+        self.lines[start..end]
+            .iter()
+            .find(|l| l.valid && l.tag == tag)
+            .map(|l| l.dirty)
+    }
+
+    /// Fill a line after a miss, evicting the LRU victim of its set if the
+    /// set is full. Returns the victim, if one was displaced.
+    ///
+    /// `dirty` marks the fill as modified (write-allocate stores, or DMA
+    /// data newer than DRAM). `presence` seeds the directory mask.
+    pub fn insert(&mut self, addr: Addr, dirty: bool, presence: u16) -> Option<Evicted> {
+        self.insert_masked(addr, dirty, presence, u64::MAX)
+    }
+
+    /// [`insert`](Self::insert) restricted to the ways enabled in
+    /// `way_mask` (bit `w` = way `w` of the set is a legal fill target).
+    /// This is Intel CAT semantics: allocation is constrained, lookups are
+    /// not — a line filled by one mask is still a hit for everyone.
+    ///
+    /// # Panics
+    /// If `way_mask` enables none of this cache's ways.
+    pub fn insert_masked(
+        &mut self,
+        addr: Addr,
+        dirty: bool,
+        presence: u16,
+        way_mask: u64,
+    ) -> Option<Evicted> {
+        assert!(
+            way_mask & (u64::MAX >> (64 - self.ways.min(64))) != 0,
+            "way mask enables no way"
+        );
+        let line_addr = line_of(addr);
+        let tag = line_addr >> CACHE_LINE_SHIFT;
+        let (start, end) = self.set_range(line_addr);
+        self.clock += 1;
+
+        // Prefer an invalid allowed way; otherwise evict the LRU allowed way.
+        let mut victim = usize::MAX;
+        let mut best_lru = u64::MAX;
+        for i in start..end {
+            if way_mask & (1u64 << (i - start)) == 0 {
+                continue;
+            }
+            let l = &self.lines[i];
+            if !l.valid {
+                victim = i;
+                break;
+            }
+            if l.lru < best_lru {
+                best_lru = l.lru;
+                victim = i;
+            }
+        }
+        debug_assert_ne!(victim, usize::MAX);
+
+        let old = self.lines[victim];
+        let evicted = if old.valid {
+            debug_assert_ne!(old.tag, tag, "inserting a line that is already present");
+            self.stats.evictions += 1;
+            if old.dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(Evicted {
+                line_addr: old.tag << CACHE_LINE_SHIFT,
+                dirty: old.dirty,
+                presence: old.presence,
+            })
+        } else {
+            None
+        };
+
+        self.lines[victim] =
+            Line { tag, lru: self.clock, valid: true, dirty, presence };
+        evicted
+    }
+
+    /// Remove a line if present; returns whether it was dirty (the caller
+    /// decides whether the data must be pushed down the hierarchy).
+    pub fn invalidate(&mut self, addr: Addr) -> Option<bool> {
+        let line_addr = line_of(addr);
+        let tag = line_addr >> CACHE_LINE_SHIFT;
+        let (start, end) = self.set_range(line_addr);
+        for i in start..end {
+            let l = &mut self.lines[i];
+            if l.valid && l.tag == tag {
+                l.valid = false;
+                self.stats.invalidations += 1;
+                return Some(l.dirty);
+            }
+        }
+        None
+    }
+
+    /// Number of currently valid lines (test/diagnostic helper).
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Drop all contents and statistics.
+    pub fn clear(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::CACHE_LINE;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B.
+        Cache::new(CacheGeom::new(512, 2))
+    }
+
+    /// Address that maps to `set` with a distinguishing `tag_salt`.
+    fn addr_in_set(c: &Cache, set: u64, tag_salt: u64) -> Addr {
+        (tag_salt * c.num_sets() + set) * CACHE_LINE
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        let a = addr_in_set(&c, 1, 0);
+        assert_eq!(c.access(a, false, 0), LookupResult::Miss);
+        assert!(c.insert(a, false, 0).is_none());
+        assert_eq!(c.access(a, false, 0), LookupResult::Hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn same_set_evicts_lru() {
+        let mut c = small();
+        let a = addr_in_set(&c, 2, 0);
+        let b = addr_in_set(&c, 2, 1);
+        let d = addr_in_set(&c, 2, 2);
+        c.insert(a, false, 0);
+        c.insert(b, false, 0);
+        // Touch `a` so `b` becomes LRU.
+        assert_eq!(c.access(a, false, 0), LookupResult::Hit);
+        let ev = c.insert(d, false, 0).expect("set is full");
+        assert_eq!(ev.line_addr, line_of(b));
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn eviction_reports_dirty_and_presence() {
+        let mut c = small();
+        let a = addr_in_set(&c, 0, 0);
+        let b = addr_in_set(&c, 0, 1);
+        let d = addr_in_set(&c, 0, 2);
+        c.insert(a, false, 0b01);
+        assert_eq!(c.access(a, true, 0b10), LookupResult::Hit); // dirty + merge
+        c.insert(b, false, 0);
+        let ev = c.insert(d, false, 0).unwrap();
+        assert_eq!(ev.line_addr, line_of(a));
+        assert!(ev.dirty);
+        assert_eq!(ev.presence, 0b11);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = small();
+        for set in 0..c.num_sets() {
+            c.insert(addr_in_set(&c, set, 0), false, 0);
+            c.insert(addr_in_set(&c, set, 1), false, 0);
+        }
+        assert_eq!(c.occupancy(), 8);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn invalidate_removes_and_reports_dirty() {
+        let mut c = small();
+        let a = addr_in_set(&c, 3, 0);
+        c.insert(a, true, 0);
+        assert_eq!(c.invalidate(a), Some(true));
+        assert!(!c.probe(a));
+        assert_eq!(c.invalidate(a), None);
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn sub_line_addresses_alias_to_one_line() {
+        let mut c = small();
+        c.insert(128, false, 0);
+        assert_eq!(c.access(128 + 63, false, 0), LookupResult::Hit);
+        assert_eq!(c.access(128 + 64, false, 0), LookupResult::Miss);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = small();
+        c.insert(0, true, 1);
+        c.access(0, false, 0);
+        c.clear();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn masked_insert_confines_fills_to_allowed_ways() {
+        let mut c = small(); // 2 ways per set
+        let protected = addr_in_set(&c, 1, 0);
+        c.insert_masked(protected, false, 0, 0b01); // way 0
+        // An aggressor restricted to way 1 can never displace it.
+        for salt in 1..50 {
+            c.insert_masked(addr_in_set(&c, 1, salt), false, 0, 0b10);
+        }
+        assert!(c.probe(protected), "way-0 line must survive way-1 thrash");
+    }
+
+    #[test]
+    fn masked_insert_still_hits_across_partitions() {
+        let mut c = small();
+        let a = addr_in_set(&c, 2, 0);
+        c.insert_masked(a, false, 0, 0b10);
+        // CAT constrains allocation, not lookup.
+        assert_eq!(c.access(a, false, 0), LookupResult::Hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "no way")]
+    fn empty_way_mask_panics() {
+        let mut c = small();
+        c.insert_masked(0, false, 0, 0);
+    }
+
+    #[test]
+    fn lru_is_exact_over_long_sequences() {
+        // With W ways, a cyclic sweep over W+1 distinct lines in one set must
+        // miss every time (the worst case for LRU).
+        let mut c = small();
+        let lines: Vec<Addr> = (0..3).map(|s| addr_in_set(&c, 1, s)).collect();
+        for round in 0..10 {
+            for &a in &lines {
+                assert_eq!(
+                    c.access(a, false, 0),
+                    LookupResult::Miss,
+                    "round {round} addr {a:#x}"
+                );
+                c.insert(a, false, 0);
+            }
+        }
+    }
+}

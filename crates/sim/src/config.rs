@@ -1,0 +1,318 @@
+//! Machine configuration: topology, cache geometry, and the timing model.
+//!
+//! The default configuration, [`MachineConfig::westmere`], models the paper's
+//! platform: two Intel Xeon X5660 sockets, six 2.8 GHz cores each, private
+//! 32 KB L1d and 256 KB L2 caches, a 12 MB shared inclusive L3 per socket, one
+//! integrated memory controller per socket, and a QPI link between sockets.
+//!
+//! Every latency is expressed in core cycles. The paper reports the extra
+//! cost of a converted miss as δ = 43.75 ns, which is 122.5 cycles at
+//! 2.8 GHz; we round to 122 cycles of DRAM latency beyond the L3 lookup.
+
+use crate::types::{Cycles, CACHE_LINE};
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeom {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes; all levels use [`CACHE_LINE`].
+    pub line_bytes: u64,
+}
+
+impl CacheGeom {
+    /// Construct a geometry, validating divisibility.
+    pub fn new(size_bytes: u64, ways: u32) -> Self {
+        let g = CacheGeom { size_bytes, ways, line_bytes: CACHE_LINE };
+        assert!(g.num_sets() >= 1, "cache too small for geometry");
+        g
+    }
+
+    /// Total number of lines the cache can hold.
+    pub fn num_lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Number of sets (lines / ways).
+    pub fn num_sets(&self) -> u64 {
+        assert!(
+            self.num_lines() % self.ways as u64 == 0,
+            "lines ({}) not divisible by ways ({})",
+            self.num_lines(),
+            self.ways
+        );
+        self.num_lines() / self.ways as u64
+    }
+}
+
+/// Hardware-prefetcher configuration (the per-core L2 stream prefetcher;
+/// see [`prefetch`](crate::prefetch)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchConfig {
+    /// Whether the prefetcher is active. Off by default: the compute-cost
+    /// calibration was done without it, and it exists as an ablation.
+    pub enabled: bool,
+    /// Lines fetched ahead per confident training event (1..=8).
+    pub degree: u8,
+    /// Concurrent page streams tracked per core.
+    pub streams: u8,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig { enabled: false, degree: 2, streams: 16 }
+    }
+}
+
+/// Full description of the simulated platform.
+///
+/// Use [`MachineConfig::westmere`] for the paper's platform and override
+/// fields for ablations (e.g., different associativity, DCA off).
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of processor sockets.
+    pub sockets: u8,
+    /// Cores per socket.
+    pub cores_per_socket: u8,
+    /// Core clock frequency in GHz (used to convert cycles to seconds).
+    pub freq_ghz: f64,
+
+    /// Private per-core L1 data cache.
+    pub l1: CacheGeom,
+    /// Private per-core unified L2 cache.
+    pub l2: CacheGeom,
+    /// Shared per-socket inclusive last-level cache.
+    pub l3: CacheGeom,
+
+    /// L1 hit load-to-use latency.
+    pub lat_l1: Cycles,
+    /// L2 hit latency (total, not incremental).
+    pub lat_l2: Cycles,
+    /// L3 hit latency (total).
+    pub lat_l3: Cycles,
+    /// Extra latency of a DRAM access beyond an L3 hit (the paper's δ).
+    pub lat_dram_extra: Cycles,
+    /// One-way latency added to any access that must cross the QPI link.
+    pub lat_qpi: Cycles,
+
+    /// Memory-controller service time per cache line (serialization at the
+    /// controller; determines the bandwidth-contention component, Fig. 4b).
+    pub memctrl_service: Cycles,
+    /// QPI serialization time per cache line crossing the link.
+    pub qpi_service: Cycles,
+
+    /// Cycles the core spends issuing a store (it does not wait for
+    /// completion; stores drain through a store buffer).
+    pub store_issue_cost: Cycles,
+
+    /// Whether NIC DMA uses Direct Cache Access (packet lines are pushed
+    /// into the destination socket's L3, as on the paper's 82599 NICs).
+    pub dca: bool,
+
+    /// Maximum number of overlapping outstanding misses honored by
+    /// [`read_batch`](crate::ctx::ExecCtx::read_batch) (models the limit on
+    /// MSHRs / memory-level parallelism of one core).
+    pub max_mlp: u32,
+
+    /// L2 stream-prefetcher configuration (off by default; ablation).
+    pub prefetch: PrefetchConfig,
+
+    /// Optional L3 way-partitioning (Intel CAT-style): per-core bitmasks of
+    /// the L3 ways each core may *fill into* (hits are served from any way,
+    /// as on real hardware). `None` = unpartitioned (the paper's platform;
+    /// CAT postdates it — this is the "what would fix it" extension).
+    pub l3_way_masks: Option<Vec<u32>>,
+}
+
+impl MachineConfig {
+    /// The paper's platform: 2× Xeon X5660 "Westmere", 6 cores/socket at
+    /// 2.8 GHz, 32 KB/8-way L1d, 256 KB/8-way L2, 12 MB/16-way shared L3,
+    /// DDR3 controller per socket, QPI interconnect, DCA enabled.
+    pub fn westmere() -> Self {
+        MachineConfig {
+            sockets: 2,
+            cores_per_socket: 6,
+            freq_ghz: 2.8,
+            l1: CacheGeom::new(32 * 1024, 8),
+            l2: CacheGeom::new(256 * 1024, 8),
+            l3: CacheGeom::new(12 * 1024 * 1024, 16),
+            lat_l1: 4,
+            lat_l2: 10,
+            lat_l3: 38,
+            lat_dram_extra: 122, // δ = 43.75 ns at 2.8 GHz
+            lat_qpi: 60,
+            memctrl_service: 11, // ~4 ns/line => ~16 GB/s effective per socket
+            qpi_service: 14,     // ~5 ns/line  => ~12.8 GB/s per direction
+            store_issue_cost: 1,
+            dca: true,
+            max_mlp: 8,
+            prefetch: PrefetchConfig::default(),
+            l3_way_masks: None,
+        }
+    }
+
+    /// A deliberately tiny machine for fast unit tests: one socket, two
+    /// cores, small caches. Timing constants match `westmere()` so latency
+    /// assertions carry over.
+    pub fn tiny_test() -> Self {
+        MachineConfig {
+            sockets: 1,
+            cores_per_socket: 2,
+            l1: CacheGeom::new(1024, 2),
+            l2: CacheGeom::new(4096, 4),
+            l3: CacheGeom::new(16 * 1024, 4),
+            ..Self::westmere()
+        }
+    }
+
+    /// Total number of cores across all sockets.
+    pub fn total_cores(&self) -> usize {
+        self.sockets as usize * self.cores_per_socket as usize
+    }
+
+    /// Enable CAT-style L3 partitioning with the ways of each socket's L3
+    /// split as evenly as possible among its cores (e.g. 16 ways over 6
+    /// cores → masks of 3,3,3,3,2,2 ways). Cores on different sockets reuse
+    /// the same per-socket mask layout.
+    pub fn with_equal_cat(mut self) -> Self {
+        let ways = self.l3.ways;
+        let cores = self.cores_per_socket as u32;
+        assert!(ways >= cores, "need at least one way per core");
+        let base = ways / cores;
+        let extra = ways % cores;
+        let mut masks = Vec::with_capacity(self.total_cores());
+        for _socket in 0..self.sockets {
+            let mut next_way = 0u32;
+            for c in 0..cores {
+                let n = base + u32::from(c < extra);
+                let mask = ((1u64 << n) - 1) << next_way;
+                next_way += n;
+                masks.push(mask as u32);
+            }
+        }
+        self.l3_way_masks = Some(masks);
+        self
+    }
+
+    /// Convert a cycle count to seconds at this machine's frequency.
+    pub fn cycles_to_secs(&self, c: Cycles) -> f64 {
+        c as f64 / (self.freq_ghz * 1e9)
+    }
+
+    /// Convert seconds to cycles at this machine's frequency.
+    pub fn secs_to_cycles(&self, s: f64) -> Cycles {
+        (s * self.freq_ghz * 1e9).round() as Cycles
+    }
+
+    /// Latency of a local DRAM access (L3 lookup plus DRAM), excluding
+    /// queueing at the controller.
+    pub fn lat_dram(&self) -> Cycles {
+        self.lat_l3 + self.lat_dram_extra
+    }
+
+    /// Validate internal consistency; panics with a diagnostic otherwise.
+    pub fn validate(&self) {
+        assert!(self.sockets >= 1, "need at least one socket");
+        assert!(self.cores_per_socket >= 1, "need at least one core");
+        assert!(self.freq_ghz > 0.0, "frequency must be positive");
+        assert!(self.lat_l1 <= self.lat_l2 && self.lat_l2 <= self.lat_l3);
+        assert!(self.max_mlp >= 1, "MLP factor must be at least 1");
+        // Force set-count computation so bad geometry panics early.
+        let _ = self.l1.num_sets();
+        let _ = self.l2.num_sets();
+        let _ = self.l3.num_sets();
+        if let Some(masks) = &self.l3_way_masks {
+            assert_eq!(masks.len(), self.total_cores(), "one L3 way mask per core");
+            let all = if self.l3.ways >= 32 { u32::MAX } else { (1u32 << self.l3.ways) - 1 };
+            for (i, &m) in masks.iter().enumerate() {
+                assert!(m & all != 0, "core {i}'s way mask enables no L3 way");
+                assert_eq!(m & !all, 0, "core {i}'s way mask exceeds L3 ways");
+            }
+        }
+        assert!(self.prefetch.streams >= 1, "prefetcher needs at least one stream");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn westmere_geometry_matches_paper() {
+        let c = MachineConfig::westmere();
+        c.validate();
+        assert_eq!(c.total_cores(), 12);
+        assert_eq!(c.l3.num_lines(), 196_608);
+        assert_eq!(c.l3.num_sets(), 12_288);
+        assert_eq!(c.l1.num_sets(), 64);
+        assert_eq!(c.l2.num_sets(), 512);
+    }
+
+    #[test]
+    fn delta_is_43_75_ns() {
+        let c = MachineConfig::westmere();
+        let delta_secs = c.cycles_to_secs(c.lat_dram_extra);
+        // 122 cycles at 2.8 GHz = 43.57 ns; within 0.5 ns of the paper's δ.
+        assert!((delta_secs * 1e9 - 43.75).abs() < 0.5, "delta = {delta_secs}");
+    }
+
+    #[test]
+    fn cycle_second_roundtrip() {
+        let c = MachineConfig::westmere();
+        let cyc = c.secs_to_cycles(0.25);
+        assert_eq!(cyc, 700_000_000);
+        assert!((c.cycles_to_secs(cyc) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_geometry_panics() {
+        let g = CacheGeom { size_bytes: 3000, ways: 7, line_bytes: 64 };
+        let _ = g.num_sets();
+    }
+
+    #[test]
+    fn tiny_test_is_valid() {
+        MachineConfig::tiny_test().validate();
+    }
+
+    #[test]
+    fn equal_cat_partitions_all_ways_disjointly() {
+        let c = MachineConfig::westmere().with_equal_cat();
+        c.validate();
+        let masks = c.l3_way_masks.as_ref().unwrap();
+        assert_eq!(masks.len(), 12);
+        // Within a socket: disjoint and covering all 16 ways.
+        for socket in 0..2 {
+            let socket_masks = &masks[socket * 6..(socket + 1) * 6];
+            let mut seen = 0u32;
+            for &m in socket_masks {
+                assert_eq!(seen & m, 0, "masks overlap");
+                seen |= m;
+            }
+            assert_eq!(seen, (1u32 << 16) - 1, "all ways assigned");
+        }
+        // 16 ways / 6 cores = four 3-way + two 2-way partitions.
+        let sizes: Vec<u32> = masks[..6].iter().map(|m| m.count_ones()).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 3, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one L3 way mask per core")]
+    fn wrong_mask_count_rejected() {
+        let mut c = MachineConfig::westmere();
+        c.l3_way_masks = Some(vec![1; 3]);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds L3 ways")]
+    fn oversized_mask_rejected() {
+        let mut c = MachineConfig::westmere();
+        // Valid low bit, but also a bit beyond the 16 ways.
+        c.l3_way_masks = Some(vec![(1 << 20) | 1; 12]);
+        c.validate();
+    }
+}

@@ -1,0 +1,372 @@
+//! Performance counters — the simulator's equivalent of the paper's OProfile
+//! measurements.
+//!
+//! Counters are maintained **per core** and, within each core, **per function
+//! tag**. Tags let experiments attribute cache behaviour to individual
+//! processing functions the way Fig. 7 of the paper breaks MON down into
+//! `radix_ip_lookup`, `flow_statistics`, `check_ip_header`, and
+//! `skb_recycle`.
+//!
+//! All counts are exact (the simulator observes every access), so unlike
+//! sampled hardware counters there is no measurement variance.
+
+use crate::types::Cycles;
+
+/// One bundle of event counts. Also used for deltas between snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Retired instructions (computed work; memory operations included).
+    pub instructions: u64,
+    /// Cycles spent in straight-line compute (excludes memory stalls).
+    pub compute_cycles: Cycles,
+    /// Cycles spent stalled on memory.
+    pub stall_cycles: Cycles,
+    /// Loads+stores issued (L1 references).
+    pub l1_refs: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// Accesses that reached L2 (= L1 misses).
+    pub l2_refs: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// Accesses that reached the shared L3 (= L2 misses). This is the
+    /// paper's "cache refs" quantity.
+    pub l3_refs: u64,
+    /// L3 hits.
+    pub l3_hits: u64,
+    /// L3 misses (went to DRAM).
+    pub l3_misses: u64,
+    /// Accesses served by a remote socket's memory controller (over QPI).
+    pub remote_accesses: u64,
+    /// Packets retired (counted once per packet at end of processing).
+    pub packets: u64,
+}
+
+impl Counts {
+    /// Elementwise difference `self - earlier`; saturates at zero so a
+    /// mismatched snapshot cannot underflow.
+    pub fn delta(&self, earlier: &Counts) -> Counts {
+        Counts {
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            compute_cycles: self.compute_cycles.saturating_sub(earlier.compute_cycles),
+            stall_cycles: self.stall_cycles.saturating_sub(earlier.stall_cycles),
+            l1_refs: self.l1_refs.saturating_sub(earlier.l1_refs),
+            l1_hits: self.l1_hits.saturating_sub(earlier.l1_hits),
+            l2_refs: self.l2_refs.saturating_sub(earlier.l2_refs),
+            l2_hits: self.l2_hits.saturating_sub(earlier.l2_hits),
+            l3_refs: self.l3_refs.saturating_sub(earlier.l3_refs),
+            l3_hits: self.l3_hits.saturating_sub(earlier.l3_hits),
+            l3_misses: self.l3_misses.saturating_sub(earlier.l3_misses),
+            remote_accesses: self.remote_accesses.saturating_sub(earlier.remote_accesses),
+            packets: self.packets.saturating_sub(earlier.packets),
+        }
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Counts) -> Counts {
+        Counts {
+            instructions: self.instructions + other.instructions,
+            compute_cycles: self.compute_cycles + other.compute_cycles,
+            stall_cycles: self.stall_cycles + other.stall_cycles,
+            l1_refs: self.l1_refs + other.l1_refs,
+            l1_hits: self.l1_hits + other.l1_hits,
+            l2_refs: self.l2_refs + other.l2_refs,
+            l2_hits: self.l2_hits + other.l2_hits,
+            l3_refs: self.l3_refs + other.l3_refs,
+            l3_hits: self.l3_hits + other.l3_hits,
+            l3_misses: self.l3_misses + other.l3_misses,
+            remote_accesses: self.remote_accesses + other.remote_accesses,
+            packets: self.packets + other.packets,
+        }
+    }
+
+    /// Total cycles accounted to this bundle (compute + memory stalls).
+    pub fn cycles(&self) -> Cycles {
+        self.compute_cycles + self.stall_cycles
+    }
+
+    /// Cycles per instruction over this bundle; `None` when no instructions
+    /// retired.
+    pub fn cpi(&self) -> Option<f64> {
+        if self.instructions == 0 {
+            None
+        } else {
+            Some(self.cycles() as f64 / self.instructions as f64)
+        }
+    }
+}
+
+/// Per-core counter state: a running total plus a breakdown by function tag.
+///
+/// The *current tag* is a small stack so nested scopes attribute to the
+/// innermost tag, mirroring how a profiler attributes samples to the leaf
+/// function.
+#[derive(Debug, Clone)]
+pub struct CoreCounters {
+    total: Counts,
+    tags: Vec<(&'static str, Counts)>,
+    tag_stack: Vec<usize>,
+}
+
+impl Default for CoreCounters {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CoreCounters {
+    /// Fresh counters with no tags registered.
+    pub fn new() -> Self {
+        CoreCounters { total: Counts::default(), tags: Vec::new(), tag_stack: Vec::new() }
+    }
+
+    fn tag_index(&mut self, name: &'static str) -> usize {
+        // Tag sets are tiny (a handful per element chain); linear scan is
+        // both faster than hashing and deterministic.
+        if let Some(i) = self.tags.iter().position(|(n, _)| *n == name) {
+            i
+        } else {
+            self.tags.push((name, Counts::default()));
+            self.tags.len() - 1
+        }
+    }
+
+    /// Enter a tag scope; accesses are attributed to `name` until the
+    /// matching [`pop_tag`](Self::pop_tag).
+    pub fn push_tag(&mut self, name: &'static str) {
+        let i = self.tag_index(name);
+        self.tag_stack.push(i);
+    }
+
+    /// Leave the innermost tag scope.
+    pub fn pop_tag(&mut self) {
+        self.tag_stack.pop();
+    }
+
+    /// Depth of the tag stack (used by scope guards to detect imbalance).
+    pub fn tag_depth(&self) -> usize {
+        self.tag_stack.len()
+    }
+
+    /// Apply a mutation to the total and to the current tag's bundle.
+    #[inline]
+    pub fn bump(&mut self, f: impl Fn(&mut Counts)) {
+        f(&mut self.total);
+        if let Some(&i) = self.tag_stack.last() {
+            f(&mut self.tags[i].1);
+        }
+    }
+
+    /// The core's running totals.
+    pub fn total(&self) -> &Counts {
+        &self.total
+    }
+
+    /// Counts attributed to one tag, if it has been seen.
+    pub fn tag(&self, name: &str) -> Option<&Counts> {
+        self.tags.iter().find(|(n, _)| *n == name).map(|(_, c)| c)
+    }
+
+    /// All tags seen so far, in first-use order.
+    pub fn tag_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.tags.iter().map(|(n, _)| *n)
+    }
+
+    /// Snapshot the full state (totals and per-tag bundles).
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            total: self.total,
+            tags: self.tags.iter().map(|(n, c)| (*n, *c)).collect(),
+        }
+    }
+}
+
+/// An immutable copy of a core's counters at one instant; subtract two
+/// snapshots to obtain the events within a measurement window.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSnapshot {
+    /// Totals at snapshot time.
+    pub total: Counts,
+    /// Per-tag bundles at snapshot time.
+    pub tags: Vec<(&'static str, Counts)>,
+}
+
+impl CounterSnapshot {
+    /// Events between `earlier` and `self`, per tag and in total. Tags
+    /// missing from `earlier` are treated as starting from zero.
+    pub fn delta(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let tags = self
+            .tags
+            .iter()
+            .map(|(name, c)| {
+                let before = earlier
+                    .tags
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, c)| *c)
+                    .unwrap_or_default();
+                (*name, c.delta(&before))
+            })
+            .collect();
+        CounterSnapshot { total: self.total.delta(&earlier.total), tags }
+    }
+
+    /// Look up one tag's bundle in this snapshot.
+    pub fn tag(&self, name: &str) -> Option<&Counts> {
+        self.tags.iter().find(|(n, _)| *n == name).map(|(_, c)| c)
+    }
+}
+
+/// Derived per-second and per-packet metrics over a measurement window — the
+/// quantities Table 1 of the paper reports.
+#[derive(Debug, Clone, Copy)]
+pub struct DerivedMetrics {
+    /// Window length in seconds.
+    pub seconds: f64,
+    /// Packets per second.
+    pub pps: f64,
+    /// Cycles per instruction.
+    pub cpi: f64,
+    /// L3 (last-level cache) references per second.
+    pub l3_refs_per_sec: f64,
+    /// L3 hits per second.
+    pub l3_hits_per_sec: f64,
+    /// L3 misses per second.
+    pub l3_misses_per_sec: f64,
+    /// Cycles per packet.
+    pub cycles_per_packet: f64,
+    /// L3 references per packet.
+    pub l3_refs_per_packet: f64,
+    /// L3 misses per packet.
+    pub l3_misses_per_packet: f64,
+    /// L3 hits per packet.
+    pub l3_hits_per_packet: f64,
+    /// L2 hits per packet.
+    pub l2_hits_per_packet: f64,
+    /// Instructions per packet.
+    pub instructions_per_packet: f64,
+}
+
+impl DerivedMetrics {
+    /// Compute derived metrics from a count delta over `window_cycles` at
+    /// `freq_ghz`. Per-packet figures are `NaN`-free: they are zero when no
+    /// packets retired.
+    pub fn from_counts(c: &Counts, window_cycles: Cycles, freq_ghz: f64) -> Self {
+        let seconds = window_cycles as f64 / (freq_ghz * 1e9);
+        let per_sec = |v: u64| v as f64 / seconds;
+        let per_pkt =
+            |v: u64| if c.packets == 0 { 0.0 } else { v as f64 / c.packets as f64 };
+        DerivedMetrics {
+            seconds,
+            pps: per_sec(c.packets),
+            cpi: c.cpi().unwrap_or(0.0),
+            l3_refs_per_sec: per_sec(c.l3_refs),
+            l3_hits_per_sec: per_sec(c.l3_hits),
+            l3_misses_per_sec: per_sec(c.l3_misses),
+            cycles_per_packet: per_pkt(c.cycles()),
+            l3_refs_per_packet: per_pkt(c.l3_refs),
+            l3_misses_per_packet: per_pkt(c.l3_misses),
+            l3_hits_per_packet: per_pkt(c.l3_hits),
+            l2_hits_per_packet: per_pkt(c.l2_hits),
+            instructions_per_packet: per_pkt(c.instructions),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_attributes_to_total_and_tag() {
+        let mut cc = CoreCounters::new();
+        cc.bump(|c| c.instructions += 1);
+        cc.push_tag("lookup");
+        cc.bump(|c| c.instructions += 2);
+        cc.pop_tag();
+        cc.bump(|c| c.instructions += 4);
+        assert_eq!(cc.total().instructions, 7);
+        assert_eq!(cc.tag("lookup").unwrap().instructions, 2);
+        assert!(cc.tag("absent").is_none());
+    }
+
+    #[test]
+    fn nested_tags_attribute_to_innermost() {
+        let mut cc = CoreCounters::new();
+        cc.push_tag("outer");
+        cc.bump(|c| c.l3_refs += 1);
+        cc.push_tag("inner");
+        cc.bump(|c| c.l3_refs += 10);
+        cc.pop_tag();
+        cc.bump(|c| c.l3_refs += 100);
+        cc.pop_tag();
+        assert_eq!(cc.tag("outer").unwrap().l3_refs, 101);
+        assert_eq!(cc.tag("inner").unwrap().l3_refs, 10);
+        assert_eq!(cc.total().l3_refs, 111);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_window() {
+        let mut cc = CoreCounters::new();
+        cc.push_tag("a");
+        cc.bump(|c| c.packets += 5);
+        cc.pop_tag();
+        let s1 = cc.snapshot();
+        cc.push_tag("a");
+        cc.bump(|c| c.packets += 3);
+        cc.pop_tag();
+        cc.push_tag("b");
+        cc.bump(|c| c.packets += 2);
+        cc.pop_tag();
+        let s2 = cc.snapshot();
+        let d = s2.delta(&s1);
+        assert_eq!(d.total.packets, 5);
+        assert_eq!(d.tag("a").unwrap().packets, 3);
+        // Tag "b" did not exist at s1; its whole count is in the delta.
+        assert_eq!(d.tag("b").unwrap().packets, 2);
+    }
+
+    #[test]
+    fn counts_delta_saturates() {
+        let a = Counts { l3_refs: 3, ..Default::default() };
+        let b = Counts { l3_refs: 10, ..Default::default() };
+        assert_eq!(a.delta(&b).l3_refs, 0);
+        assert_eq!(b.delta(&a).l3_refs, 7);
+    }
+
+    #[test]
+    fn derived_metrics_per_second_and_packet() {
+        let c = Counts {
+            instructions: 1000,
+            compute_cycles: 1400,
+            stall_cycles: 600,
+            l3_refs: 200,
+            l3_hits: 150,
+            l3_misses: 50,
+            l2_hits: 300,
+            packets: 100,
+            ..Default::default()
+        };
+        // 2.8e9 cycles = 1 second.
+        let m = DerivedMetrics::from_counts(&c, 2_800_000_000, 2.8);
+        assert!((m.seconds - 1.0).abs() < 1e-12);
+        assert!((m.pps - 100.0).abs() < 1e-9);
+        assert!((m.cpi - 2.0).abs() < 1e-12);
+        assert!((m.l3_refs_per_sec - 200.0).abs() < 1e-9);
+        assert!((m.cycles_per_packet - 20.0).abs() < 1e-9);
+        assert!((m.l2_hits_per_packet - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derived_metrics_no_packets_is_finite() {
+        let c = Counts { l3_refs: 10, ..Default::default() };
+        let m = DerivedMetrics::from_counts(&c, 2_800_000, 2.8);
+        assert_eq!(m.cycles_per_packet, 0.0);
+        assert!(m.l3_refs_per_sec > 0.0);
+    }
+
+    #[test]
+    fn cpi_none_without_instructions() {
+        assert!(Counts::default().cpi().is_none());
+    }
+}

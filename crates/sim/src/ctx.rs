@@ -1,0 +1,358 @@
+//! The execution context: the API that packet-processing code programs
+//! against.
+//!
+//! An [`ExecCtx`] borrows the machine on behalf of one core. Element code
+//! calls [`compute`](ExecCtx::compute) for arithmetic work, [`read`] /
+//! [`write`](ExecCtx::write) for dependent memory accesses, and
+//! [`read_batch`](ExecCtx::read_batch) for independent accesses that real
+//! out-of-order cores overlap (memory-level parallelism).
+//!
+//! Dependent loads stall the core for their full latency — this is what
+//! makes the paper's δ (extra time per converted miss) appear in end-to-end
+//! throughput. Function tags ([`scoped`](ExecCtx::scoped)) attribute counts
+//! to named processing steps, as in Fig. 7.
+//!
+//! [`read`]: ExecCtx::read
+
+use crate::machine::Machine;
+use crate::types::{AccessKind, Addr, CoreId, Cycles, CACHE_LINE};
+
+/// Execution context for one core; see the module docs.
+pub struct ExecCtx<'a> {
+    machine: &'a mut Machine,
+    core: CoreId,
+}
+
+impl Machine {
+    /// Borrow the machine as an execution context for `core`.
+    pub fn ctx(&mut self, core: CoreId) -> ExecCtx<'_> {
+        ExecCtx { machine: self, core }
+    }
+}
+
+impl<'a> ExecCtx<'a> {
+    /// The core this context executes on.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// The machine (immutable; for configuration lookups).
+    pub fn machine(&self) -> &Machine {
+        self.machine
+    }
+
+    /// Current value of this core's clock.
+    pub fn now(&self) -> Cycles {
+        self.machine.core(self.core).clock
+    }
+
+    /// Spend `cycles` of straight-line compute retiring `instructions`.
+    #[inline]
+    pub fn compute(&mut self, cycles: Cycles, instructions: u64) {
+        let cs = self.machine.core_mut(self.core);
+        cs.clock += cycles;
+        cs.counters.bump(|c| {
+            c.compute_cycles += cycles;
+            c.instructions += instructions;
+        });
+    }
+
+    /// A dependent load from `addr`: the core stalls for the full latency.
+    /// Returns the latency, mostly for tests and diagnostics.
+    #[inline]
+    pub fn read(&mut self, addr: Addr) -> Cycles {
+        let lat = self.machine.demand_access(self.core, addr, AccessKind::Read);
+        let cs = self.machine.core_mut(self.core);
+        cs.clock += lat;
+        cs.counters.bump(|c| {
+            c.stall_cycles += lat;
+            c.instructions += 1;
+        });
+        lat
+    }
+
+    /// A store to `addr`: the core pays only the issue cost (stores drain
+    /// through a store buffer), but the hierarchy state fully updates.
+    #[inline]
+    pub fn write(&mut self, addr: Addr) {
+        let lat = self.machine.demand_access(self.core, addr, AccessKind::Write);
+        let cs = self.machine.core_mut(self.core);
+        cs.clock += lat;
+        cs.counters.bump(|c| {
+            c.stall_cycles += lat;
+            c.instructions += 1;
+        });
+    }
+
+    /// Dependent loads covering every cache line of `[addr, addr+len)`.
+    #[inline]
+    pub fn read_struct(&mut self, addr: Addr, len: u64) {
+        let mut line = addr & !(CACHE_LINE - 1);
+        let end = addr + len.max(1);
+        while line < end {
+            self.read(line);
+            line += CACHE_LINE;
+        }
+    }
+
+    /// Stores covering every cache line of `[addr, addr+len)`.
+    #[inline]
+    pub fn write_struct(&mut self, addr: Addr, len: u64) {
+        let mut line = addr & !(CACHE_LINE - 1);
+        let end = addr + len.max(1);
+        while line < end {
+            self.write(line);
+            line += CACHE_LINE;
+        }
+    }
+
+    /// A batch of *independent* loads that the core may overlap, modelling
+    /// memory-level parallelism: the stall charged is the sum of individual
+    /// latencies divided by `mlp` (clamped to the machine's
+    /// [`max_mlp`](crate::config::MachineConfig::max_mlp)), and never less
+    /// than one cycle per access.
+    ///
+    /// Cache and controller state update exactly as for serial accesses, so
+    /// bandwidth and occupancy are honest; only the core-visible stall is
+    /// reduced.
+    pub fn read_batch(&mut self, addrs: &[Addr], mlp: u32) {
+        if addrs.is_empty() {
+            return;
+        }
+        let mlp = mlp.clamp(1, self.machine.config().max_mlp) as u64;
+        let mut total: Cycles = 0;
+        for &a in addrs {
+            total += self.machine.demand_access(self.core, a, AccessKind::Read);
+        }
+        let stall = (total / mlp).max(addrs.len() as u64);
+        let n = addrs.len() as u64;
+        let cs = self.machine.core_mut(self.core);
+        cs.clock += stall;
+        cs.counters.bump(|c| {
+            c.stall_cycles += stall;
+            c.instructions += n;
+        });
+    }
+
+    /// A load of cross-core shared data (pipeline queues, recycled
+    /// buffers): like [`read`](Self::read) but pays a cache-to-cache
+    /// transfer if another core holds the line modified.
+    #[inline]
+    pub fn shared_read(&mut self, addr: Addr) -> Cycles {
+        let lat = self.machine.shared_read(self.core, addr);
+        let cs = self.machine.core_mut(self.core);
+        cs.clock += lat;
+        cs.counters.bump(|c| {
+            c.stall_cycles += lat;
+            c.instructions += 1;
+        });
+        lat
+    }
+
+    /// A store to cross-core shared data: invalidates other cores' private
+    /// copies so their next access misses (true cache-line ping-pong).
+    #[inline]
+    pub fn shared_write(&mut self, addr: Addr) {
+        let lat = self.machine.shared_write(self.core, addr);
+        let cs = self.machine.core_mut(self.core);
+        cs.clock += lat;
+        cs.counters.bump(|c| {
+            c.stall_cycles += lat;
+            c.instructions += 1;
+        });
+    }
+
+    /// Shared loads covering every line of `[addr, addr+len)`.
+    pub fn shared_read_struct(&mut self, addr: Addr, len: u64) {
+        let mut line = addr & !(CACHE_LINE - 1);
+        let end = addr + len.max(1);
+        while line < end {
+            self.shared_read(line);
+            line += CACHE_LINE;
+        }
+    }
+
+    /// Attribute everything inside `f` to the function tag `name`
+    /// (innermost-tag-wins, like a profiler's leaf attribution).
+    #[inline]
+    pub fn scoped<R>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let cs = self.machine.core_mut(self.core);
+        cs.counters.push_tag(name);
+        let depth = cs.counters.tag_depth();
+        let r = f(self);
+        let cs = self.machine.core_mut(self.core);
+        debug_assert_eq!(cs.counters.tag_depth(), depth, "unbalanced tag scope");
+        cs.counters.pop_tag();
+        r
+    }
+
+    /// Count one retired packet on this core.
+    #[inline]
+    pub fn retire_packet(&mut self) {
+        self.machine.core_mut(self.core).counters.bump(|c| c.packets += 1);
+    }
+
+    /// NIC DMA delivering a packet for this core's socket at the current
+    /// clock (Direct Cache Access per machine configuration).
+    pub fn dma_deliver(&mut self, addr: Addr, len: u64) {
+        let socket = self.machine.socket_of(self.core);
+        let now = self.now();
+        self.machine.dma_deliver(socket, addr, len, now);
+    }
+
+    /// Reborrow the underlying machine mutably (for composite operations
+    /// that need other machine APIs mid-flight; use sparingly).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        self.machine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::types::{MemDomain, SocketId};
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::westmere())
+    }
+
+    #[test]
+    fn compute_advances_clock_and_counts() {
+        let mut m = machine();
+        let mut ctx = m.ctx(CoreId(0));
+        ctx.compute(100, 80);
+        assert_eq!(ctx.now(), 100);
+        let c = m.core(CoreId(0)).counters.total();
+        assert_eq!(c.compute_cycles, 100);
+        assert_eq!(c.instructions, 80);
+    }
+
+    #[test]
+    fn read_stalls_for_latency() {
+        let mut m = machine();
+        let a = MemDomain(0).base() + 0x100;
+        let mut ctx = m.ctx(CoreId(0));
+        let lat = ctx.read(a);
+        assert_eq!(ctx.now(), lat);
+        let lat2 = ctx.read(a);
+        assert_eq!(lat2, 4, "second read is an L1 hit");
+    }
+
+    #[test]
+    fn read_struct_touches_all_lines() {
+        let mut m = machine();
+        let a = MemDomain(0).base() + 0x1000 + 60; // straddles a boundary
+        let mut ctx = m.ctx(CoreId(0));
+        ctx.read_struct(a, 8);
+        let c = m.core(CoreId(0)).counters.total();
+        assert_eq!(c.l1_refs, 2, "8 bytes at offset 60 cover two lines");
+    }
+
+    #[test]
+    fn read_batch_overlaps_stall() {
+        let mut m0 = machine();
+        let addrs: Vec<Addr> =
+            (0..8).map(|i| MemDomain(0).base() + 0x10_000 + i * 4096).collect();
+        // Serial cost.
+        let mut ctx = m0.ctx(CoreId(0));
+        let serial: Cycles = addrs.iter().map(|&a| ctx.read(a)).sum();
+        // Overlapped cost on a fresh machine.
+        let mut m1 = machine();
+        let mut ctx = m1.ctx(CoreId(0));
+        ctx.read_batch(&addrs, 4);
+        let overlapped = ctx.now();
+        assert!(
+            overlapped < serial / 2,
+            "MLP must reduce stall: serial={serial} overlapped={overlapped}"
+        );
+        // Same cache state either way.
+        assert_eq!(
+            m0.core(CoreId(0)).counters.total().l3_misses,
+            m1.core(CoreId(0)).counters.total().l3_misses
+        );
+    }
+
+    #[test]
+    fn read_batch_clamps_to_machine_mlp() {
+        let mut m = machine();
+        let addrs: Vec<Addr> =
+            (0..4).map(|i| MemDomain(0).base() + 0x20_000 + i * 4096).collect();
+        let mut ctx = m.ctx(CoreId(0));
+        // Requesting absurd MLP is clamped; stall is at least 1 cycle/access.
+        ctx.read_batch(&addrs, 1000);
+        assert!(ctx.now() >= 4);
+    }
+
+    #[test]
+    fn scoped_tags_attribute() {
+        let mut m = machine();
+        let a = MemDomain(0).base() + 0x100;
+        let mut ctx = m.ctx(CoreId(0));
+        ctx.scoped("lookup", |ctx| {
+            ctx.read(a);
+        });
+        ctx.read(a + 4096);
+        let cc = &m.core(CoreId(0)).counters;
+        assert_eq!(cc.tag("lookup").unwrap().l1_refs, 1);
+        assert_eq!(cc.total().l1_refs, 2);
+    }
+
+    #[test]
+    fn shared_write_invalidates_other_cores() {
+        let mut m = machine();
+        let a = MemDomain(0).base() + 0x400;
+        // Core 0 caches the line.
+        m.ctx(CoreId(0)).read(a);
+        assert!(m.l1_holds(CoreId(0), a));
+        // Core 1 writes it as shared data.
+        m.ctx(CoreId(1)).shared_write(a);
+        assert!(!m.l1_holds(CoreId(0), a), "core 0's copy must be invalidated");
+        // Core 0's next read misses L1.
+        let before = m.core(CoreId(0)).counters.total().l1_hits;
+        m.ctx(CoreId(0)).read(a);
+        assert_eq!(m.core(CoreId(0)).counters.total().l1_hits, before);
+    }
+
+    #[test]
+    fn shared_read_steals_dirty_line() {
+        let mut m = machine();
+        let a = MemDomain(0).base() + 0x800;
+        // Core 0 dirties the line in its L1.
+        m.ctx(CoreId(0)).write(a);
+        assert!(m.l1_holds(CoreId(0), a));
+        // Core 1 shared-reads: must pay a transfer and invalidate core 0.
+        let plain = {
+            let mut m2 = machine();
+            m2.dma_deliver(SocketId(0), a, 64, 0); // prime L3 only
+            m2.ctx(CoreId(1)).read(a)
+        };
+        let lat = m.ctx(CoreId(1)).shared_read(a);
+        assert!(lat > plain, "dirty steal must cost more than a clean L3 hit");
+        assert!(!m.l1_holds(CoreId(0), a));
+    }
+
+    #[test]
+    fn ping_pong_line_misses_every_time() {
+        // Two cores alternately shared-writing one line: every access after
+        // the first must miss L1 (the §2.2 pipeline phenomenon).
+        let mut m = machine();
+        let a = MemDomain(0).base() + 0xc00;
+        for _ in 0..10 {
+            m.ctx(CoreId(0)).shared_write(a);
+            m.ctx(CoreId(1)).shared_write(a);
+        }
+        let h0 = m.core(CoreId(0)).counters.total().l1_hits;
+        let h1 = m.core(CoreId(1)).counters.total().l1_hits;
+        assert_eq!(h0 + h1, 0, "ping-pong writes must never hit L1");
+    }
+
+    #[test]
+    fn retire_packet_counts() {
+        let mut m = machine();
+        let mut ctx = m.ctx(CoreId(3));
+        ctx.retire_packet();
+        ctx.retire_packet();
+        assert_eq!(m.core(CoreId(3)).counters.total().packets, 2);
+    }
+}

@@ -1,0 +1,313 @@
+//! The simulation engine: schedules per-core tasks min-clock-first and
+//! provides warmup/measure windows.
+//!
+//! Scheduling policy: among cores that have a task, always run the one whose
+//! local clock is furthest behind, one *turn* at a time (a turn is one
+//! packet, or one batch for synthetic workloads). This keeps cross-core
+//! clock skew bounded by a single turn's duration, so accesses from
+//! different cores interleave in nearly timestamp order at the shared L3 and
+//! memory controllers — the approximation DESIGN.md §2 documents.
+
+use crate::counters::{CounterSnapshot, DerivedMetrics};
+use crate::ctx::ExecCtx;
+use crate::machine::Machine;
+use crate::types::{CoreId, Cycles};
+
+/// Outcome of one task turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TurnResult {
+    /// Work was done; the task advanced its core's clock itself.
+    Progress,
+    /// Nothing to do right now (e.g., empty upstream queue in pipeline
+    /// mode). The engine advances the clock by a small polling penalty so
+    /// idle cores do not spin at zero cost.
+    Idle,
+}
+
+/// A unit of work bound to one core — typically a packet-processing flow.
+pub trait CoreTask {
+    /// Process one packet (or one synthetic batch). Must advance the core
+    /// clock via the context; returning without advancing and claiming
+    /// [`TurnResult::Progress`] would live-lock the engine (debug builds
+    /// assert against it).
+    fn run_turn(&mut self, ctx: &mut ExecCtx<'_>) -> TurnResult;
+
+    /// Human-readable label for reports.
+    fn label(&self) -> String {
+        "task".to_string()
+    }
+}
+
+/// Cycles charged to a core whose task reported [`TurnResult::Idle`]
+/// (the cost of polling an empty queue).
+pub const IDLE_POLL_COST: Cycles = 200;
+
+/// Per-core measurement output for one window.
+#[derive(Debug, Clone)]
+pub struct CoreMeasurement {
+    /// The core measured.
+    pub core: CoreId,
+    /// Task label (empty for idle cores).
+    pub label: String,
+    /// Counter deltas over the window (totals and per-tag).
+    pub counts: CounterSnapshot,
+    /// Derived per-second / per-packet metrics.
+    pub metrics: DerivedMetrics,
+}
+
+/// A complete measurement over one window.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Nominal window length in cycles.
+    pub window_cycles: Cycles,
+    /// Core frequency used for per-second metrics.
+    pub freq_ghz: f64,
+    /// One entry per core that had a task.
+    pub cores: Vec<CoreMeasurement>,
+}
+
+impl Measurement {
+    /// The measurement for one core, if it had a task.
+    pub fn core(&self, core: CoreId) -> Option<&CoreMeasurement> {
+        self.cores.iter().find(|c| c.core == core)
+    }
+
+    /// Sum of packets/sec across all measured cores.
+    pub fn total_pps(&self) -> f64 {
+        self.cores.iter().map(|c| c.metrics.pps).sum()
+    }
+
+    /// Sum of L3 refs/sec across all measured cores.
+    pub fn total_l3_refs_per_sec(&self) -> f64 {
+        self.cores.iter().map(|c| c.metrics.l3_refs_per_sec).sum()
+    }
+}
+
+/// The engine; owns the machine and the per-core tasks.
+pub struct Engine {
+    /// The simulated platform (public so experiments can inspect caches,
+    /// controllers, and counters directly).
+    pub machine: Machine,
+    tasks: Vec<Option<Box<dyn CoreTask>>>,
+}
+
+impl Engine {
+    /// Wrap a machine. Tasks are attached with [`set_task`](Self::set_task).
+    pub fn new(machine: Machine) -> Self {
+        let n = machine.config().total_cores();
+        let mut tasks = Vec::with_capacity(n);
+        tasks.resize_with(n, || None);
+        Engine { machine, tasks }
+    }
+
+    /// Bind a task to a core (replacing any previous task).
+    pub fn set_task(&mut self, core: CoreId, task: Box<dyn CoreTask>) {
+        self.tasks[core.index()] = Some(task);
+    }
+
+    /// Remove and return the task on `core`.
+    pub fn take_task(&mut self, core: CoreId) -> Option<Box<dyn CoreTask>> {
+        self.tasks[core.index()].take()
+    }
+
+    /// Cores that currently have tasks.
+    pub fn active_cores(&self) -> Vec<CoreId> {
+        (0..self.tasks.len())
+            .filter(|&i| self.tasks[i].is_some())
+            .map(|i| CoreId(i as u16))
+            .collect()
+    }
+
+    /// Run all tasks until every active core's clock reaches `t_end`.
+    pub fn run_until(&mut self, t_end: Cycles) {
+        loop {
+            // Min-clock-first: pick the active core that is furthest behind.
+            let mut best: Option<(usize, Cycles)> = None;
+            for i in 0..self.tasks.len() {
+                if self.tasks[i].is_some() {
+                    let clk = self.machine.core(CoreId(i as u16)).clock;
+                    if clk < t_end && best.map(|(_, b)| clk < b).unwrap_or(true) {
+                        best = Some((i, clk));
+                    }
+                }
+            }
+            let Some((i, before)) = best else { break };
+            let core = CoreId(i as u16);
+            // Take the task out so it can borrow the machine via a context.
+            let mut task = self.tasks[i].take().expect("task vanished");
+            let result = {
+                let mut ctx = self.machine.ctx(core);
+                task.run_turn(&mut ctx)
+            };
+            match result {
+                TurnResult::Progress => {
+                    debug_assert!(
+                        self.machine.core(core).clock > before,
+                        "task {} reported progress without advancing the clock",
+                        task.label()
+                    );
+                }
+                TurnResult::Idle => {
+                    self.machine.core_mut(core).clock += IDLE_POLL_COST;
+                }
+            }
+            self.tasks[i] = Some(task);
+        }
+    }
+
+    /// Run a warmup period then measure a window: returns counter deltas and
+    /// derived metrics per active core.
+    ///
+    /// Warmup lets caches reach steady state so compulsory misses do not
+    /// pollute the measurement — the paper's solo/contended profiles are
+    /// steady-state numbers.
+    pub fn measure(&mut self, warmup: Cycles, window: Cycles) -> Measurement {
+        let start = self.machine.max_clock();
+        self.run_until(start + warmup);
+        let actives = self.active_cores();
+        let before: Vec<CounterSnapshot> = actives
+            .iter()
+            .map(|&c| self.machine.core(c).counters.snapshot())
+            .collect();
+        let t0 = self.machine.max_clock();
+        self.run_until(t0 + window);
+        let freq = self.machine.config().freq_ghz;
+        let cores = actives
+            .iter()
+            .zip(before)
+            .map(|(&core, snap0)| {
+                let snap1 = self.machine.core(core).counters.snapshot();
+                let counts = snap1.delta(&snap0);
+                let metrics = DerivedMetrics::from_counts(&counts.total, window, freq);
+                let label = self.tasks[core.index()]
+                    .as_ref()
+                    .map(|t| t.label())
+                    .unwrap_or_default();
+                CoreMeasurement { core, label, counts, metrics }
+            })
+            .collect();
+        Measurement { window_cycles: window, freq_ghz: freq, cores }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::types::MemDomain;
+
+    /// A task that reads a strided region and retires one "packet" per turn.
+    struct Striding {
+        base: u64,
+        i: u64,
+        stride: u64,
+        span: u64,
+    }
+
+    impl CoreTask for Striding {
+        fn run_turn(&mut self, ctx: &mut ExecCtx<'_>) -> TurnResult {
+            let addr = self.base + (self.i * self.stride) % self.span;
+            self.i += 1;
+            ctx.read(addr);
+            ctx.compute(50, 40);
+            ctx.retire_packet();
+            TurnResult::Progress
+        }
+        fn label(&self) -> String {
+            "striding".into()
+        }
+    }
+
+    /// A task that never does anything.
+    struct AlwaysIdle;
+    impl CoreTask for AlwaysIdle {
+        fn run_turn(&mut self, _ctx: &mut ExecCtx<'_>) -> TurnResult {
+            TurnResult::Idle
+        }
+    }
+
+    #[test]
+    fn run_until_advances_all_active_cores() {
+        let mut e = Engine::new(Machine::new(MachineConfig::westmere()));
+        for i in 0..4u16 {
+            e.set_task(
+                CoreId(i),
+                Box::new(Striding {
+                    base: MemDomain(0).base() + (i as u64) << 30,
+                    i: 0,
+                    stride: 64,
+                    span: 1 << 20,
+                }),
+            );
+        }
+        e.run_until(100_000);
+        for i in 0..4u16 {
+            assert!(e.machine.core(CoreId(i)).clock >= 100_000);
+        }
+        // Inactive cores do not advance.
+        assert_eq!(e.machine.core(CoreId(5)).clock, 0);
+    }
+
+    #[test]
+    fn min_clock_first_bounds_skew() {
+        let mut e = Engine::new(Machine::new(MachineConfig::westmere()));
+        // One slow task (big compute) and one fast task.
+        struct Fixed(u64);
+        impl CoreTask for Fixed {
+            fn run_turn(&mut self, ctx: &mut ExecCtx<'_>) -> TurnResult {
+                ctx.compute(self.0, 1);
+                ctx.retire_packet();
+                TurnResult::Progress
+            }
+        }
+        e.set_task(CoreId(0), Box::new(Fixed(10_000)));
+        e.set_task(CoreId(1), Box::new(Fixed(100)));
+        e.run_until(1_000_000);
+        let c0 = e.machine.core(CoreId(0)).clock;
+        let c1 = e.machine.core(CoreId(1)).clock;
+        // Skew at the end is bounded by one turn of the slow task.
+        assert!(c0.abs_diff(c1) <= 10_000, "skew {} too large", c0.abs_diff(c1));
+    }
+
+    #[test]
+    fn idle_tasks_advance_by_poll_cost() {
+        let mut e = Engine::new(Machine::new(MachineConfig::westmere()));
+        e.set_task(CoreId(0), Box::new(AlwaysIdle));
+        e.run_until(10 * IDLE_POLL_COST);
+        assert_eq!(e.machine.core(CoreId(0)).clock, 10 * IDLE_POLL_COST);
+    }
+
+    #[test]
+    fn measure_reports_packets_per_second() {
+        let mut e = Engine::new(Machine::new(MachineConfig::westmere()));
+        e.set_task(
+            CoreId(0),
+            Box::new(Striding { base: MemDomain(0).base(), i: 0, stride: 64, span: 1 << 16 }),
+        );
+        // Warmup 1M cycles, measure 28M cycles = 10 ms at 2.8 GHz.
+        let meas = e.measure(1_000_000, 28_000_000);
+        let cm = meas.core(CoreId(0)).expect("core 0 measured");
+        assert!(cm.metrics.pps > 0.0);
+        assert_eq!(cm.label, "striding");
+        // Each turn is ~54 cycles (L1-hit read + 50 compute), so pps should
+        // be in the tens of millions.
+        assert!(cm.metrics.pps > 10e6, "pps = {}", cm.metrics.pps);
+        assert!(meas.total_pps() >= cm.metrics.pps);
+    }
+
+    #[test]
+    fn measure_excludes_warmup_counts() {
+        let mut e = Engine::new(Machine::new(MachineConfig::westmere()));
+        e.set_task(
+            CoreId(0),
+            Box::new(Striding { base: MemDomain(0).base(), i: 0, stride: 64, span: 1 << 16 }),
+        );
+        let meas = e.measure(5_000_000, 1_000_000);
+        let cm = meas.core(CoreId(0)).unwrap();
+        let total = e.machine.core(CoreId(0)).counters.total().packets;
+        assert!(
+            cm.counts.total.packets < total,
+            "window packets must exclude warmup"
+        );
+    }
+}

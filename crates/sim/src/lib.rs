@@ -1,0 +1,82 @@
+//! # pp-sim — a deterministic multicore platform simulator
+//!
+//! This crate is the hardware substrate for the reproduction of *Toward
+//! Predictable Performance in Software Packet-Processing Platforms*
+//! (Dobrescu et al., NSDI 2012). It models the paper's platform — two
+//! sockets of six 2.8 GHz cores, private L1/L2 caches, a shared inclusive
+//! L3 per socket, one memory controller per socket, and a QPI interconnect —
+//! as a deterministic discrete-event simulation.
+//!
+//! The design goal is that the paper's phenomena **emerge** from first
+//! principles rather than being curve-fit:
+//!
+//! * hit→miss conversion under cache contention comes from true-LRU sharing
+//!   in [`cache::Cache`];
+//! * memory-controller contention comes from busy-until queueing in
+//!   [`memctrl::MemCtrl`];
+//! * NUMA placement effects come from address-domain routing in
+//!   [`machine::Machine`] and the [`interconnect::Interconnect`] model.
+//!
+//! Application code executes *for real* (on host data structures) and pays
+//! *simulated* time: every data-structure access goes through an
+//! [`ctx::ExecCtx`], which routes it through the cache hierarchy and
+//! advances the issuing core's clock. Typed views ([`arena::SimVec`],
+//! [`arena::SimRing`]) keep host data and simulated addresses in lockstep.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use pp_sim::prelude::*;
+//!
+//! // Build the paper's platform.
+//! let mut machine = Machine::new(MachineConfig::westmere());
+//!
+//! // Allocate a 1 MiB table in socket 0's memory domain.
+//! let table = machine.allocator(MemDomain(0)).alloc_lines(1 << 20);
+//!
+//! // Issue some accesses from core 0 and read the counters.
+//! let mut ctx = machine.ctx(CoreId(0));
+//! ctx.read(table);             // cold: goes to DRAM
+//! ctx.read(table);             // hot: L1 hit
+//! let counts = machine.core(CoreId(0)).counters.total();
+//! assert_eq!(counts.l3_misses, 1);
+//! assert_eq!(counts.l1_hits, 1);
+//! ```
+//!
+//! Measurement runs attach [`engine::CoreTask`]s (packet-processing flows)
+//! to cores and use [`engine::Engine::measure`] for warmup+window counter
+//! collection, the simulator's equivalent of the paper's OProfile runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod cache;
+pub mod config;
+pub mod counters;
+pub mod ctx;
+pub mod engine;
+pub mod interconnect;
+pub mod machine;
+pub mod memctrl;
+pub mod nic;
+pub mod prefetch;
+pub mod types;
+
+/// Convenient glob-import of the commonly used names.
+pub mod prelude {
+    pub use crate::arena::{DomainAllocator, SimRing, SimVec};
+    pub use crate::cache::{Cache, CacheStats, LookupResult};
+    pub use crate::config::{CacheGeom, MachineConfig};
+    pub use crate::counters::{CounterSnapshot, Counts, DerivedMetrics};
+    pub use crate::ctx::ExecCtx;
+    pub use crate::engine::{CoreMeasurement, CoreTask, Engine, Measurement, TurnResult};
+    pub use crate::interconnect::Interconnect;
+    pub use crate::machine::{CoreState, Machine};
+    pub use crate::memctrl::{MemCtrl, MemCtrlStats};
+    pub use crate::nic::NicQueue;
+    pub use crate::types::{
+        domain_of, line_of, lines_covered, AccessKind, Addr, CoreId, Cycles, MemDomain,
+        SocketId, CACHE_LINE,
+    };
+}

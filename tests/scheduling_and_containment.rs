@@ -1,0 +1,125 @@
+//! Integration tests for the §5 placement study and the §4 containment
+//! mechanism, at test scale.
+
+use predictable_pp::prelude::*;
+use std::collections::BTreeMap;
+
+#[test]
+fn placement_enumeration_is_complete_and_deduplicated() {
+    // 6+6 of two types -> 4 distinct placements (0..=6 MON on socket 0,
+    // halved by socket symmetry).
+    let mut flows = vec![FlowType::Mon; 6];
+    flows.extend(vec![FlowType::Fw; 6]);
+    let ps = enumerate_placements(&flows, 6);
+    assert_eq!(ps.len(), 4);
+    // Each placement partitions exactly the input multiset.
+    for p in &ps {
+        let mut all = p.socket0.clone();
+        all.extend(p.socket1.clone());
+        all.sort();
+        let mut want = flows.clone();
+        want.sort();
+        assert_eq!(all, want);
+    }
+}
+
+#[test]
+fn best_placement_spreads_aggressive_flows() {
+    // 2 MON + 2 SYN_MAX over 2 cores/socket: the best placement pairs each
+    // sensitive MON with... actually separates the two SYN_MAX aggressors
+    // from each other or from MONs; measured best must beat worst.
+    let flows =
+        vec![FlowType::Mon, FlowType::Mon, FlowType::SynMax, FlowType::SynMax];
+    let params = ExpParams::quick();
+    let profiles = SoloProfile::measure_all(
+        &[FlowType::Mon, FlowType::SynMax],
+        params,
+        default_threads(),
+    );
+    let solo: BTreeMap<FlowType, f64> = profiles.iter().map(|p| (p.flow, p.pps)).collect();
+    let (best, worst, all) = study_measured(&flows, &solo, params, default_threads());
+    assert!(all.len() >= 2);
+    assert!(best.avg_drop <= worst.avg_drop);
+    // The worst placement puts both SYN_MAX on the MONs' socket... by
+    // definition of worst it has both MONs exposed; sanity: the spread
+    // placement {MON+SYN | MON+SYN} should not be the worst one.
+    let spread = Placement {
+        socket0: vec![FlowType::Mon, FlowType::SynMax],
+        socket1: vec![FlowType::Mon, FlowType::SynMax],
+    }
+    .canonical();
+    assert_ne!(
+        worst.placement.canonical(),
+        spread,
+        "spreading aggressors should not be the worst placement"
+    );
+}
+
+#[test]
+fn predicted_study_agrees_with_measured_on_ranking() {
+    let flows = {
+        let mut f = vec![FlowType::Mon; 3];
+        f.extend(vec![FlowType::Fw; 3]);
+        f
+    };
+    let params = ExpParams::quick();
+    let predictor =
+        Predictor::profile(&[FlowType::Mon, FlowType::Fw], 4, params, default_threads());
+    let solo: BTreeMap<FlowType, f64> = [FlowType::Mon, FlowType::Fw]
+        .iter()
+        .map(|&t| (t, predictor.solo(t).unwrap().pps))
+        .collect();
+    let (best_m, worst_m, _) = study_measured(&flows, &solo, params, default_threads());
+    let (best_p, worst_p, _) = study_predicted(&flows, &predictor);
+    // The predictor's chosen best placement should be within a point of the
+    // measured best (ranking agreement, the paper's practical use).
+    let measured_of = |p: &Placement| evaluate_measured(p, &solo, params).avg_drop;
+    let predicted_best_measured = measured_of(&best_p.placement);
+    assert!(
+        predicted_best_measured <= worst_m.avg_drop + 0.5,
+        "predictor-chosen placement ({:.2}%) must not be the measured worst ({:.2}%)",
+        predicted_best_measured,
+        worst_m.avg_drop
+    );
+    assert!(best_m.avg_drop <= predicted_best_measured + 3.0);
+    let _ = worst_p;
+}
+
+#[test]
+fn containment_restores_victim_throughput() {
+    let params = ExpParams { window_ms: 2.0, ..ExpParams::quick() };
+    let enforced = run_containment_demo(params, 14, 4, true);
+    let unenforced = run_containment_demo(params, 14, 4, false);
+
+    // While armed and unenforced, the victim suffers; with enforcement the
+    // final windows approach the pre-arming victim throughput.
+    let pre = enforced.samples[2].victim_pps;
+    let enforced_final = enforced.samples.last().unwrap().victim_pps;
+    let unenforced_final = unenforced.samples.last().unwrap().victim_pps;
+    assert!(
+        enforced_final >= unenforced_final * 0.97,
+        "enforcement must not hurt the victim: {enforced_final:.0} vs {unenforced_final:.0}"
+    );
+    assert!(
+        enforced_final >= pre * 0.9,
+        "victim should recover to ~pre-attack throughput: {enforced_final:.0} vs {pre:.0}"
+    );
+}
+
+#[test]
+fn throttle_controller_converges_not_oscillates() {
+    let mut c = ThrottleController::new(20e6);
+    let mut observed = 100e6;
+    let mut last_ops = 0;
+    for _ in 0..30 {
+        let ops = c.observe(observed);
+        // Crude plant model: refs/sec shrink as ops grow.
+        observed = 100e6 / (1.0 + ops as f64 / 2000.0);
+        last_ops = ops;
+    }
+    assert!(
+        observed <= 20e6 * 1.3,
+        "controller should bring the rate near target, got {observed:.2e}"
+    );
+    assert!(last_ops > 0);
+}
