@@ -19,6 +19,7 @@
 //!   extended   extras   — prediction generality on DPI / NAT / CLASS
 //!   cat        extras   — L3 way-partitioning (isolation vs prediction)
 //!   mixes      extras   — error distribution over random 6-flow mixes
+//!   batch      extras   — vectorized-execution batch-size sweep
 //!   all        everything above, in order
 //! ```
 //!
@@ -31,7 +32,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|pipeline|throttle|ablate|extended|cat|mixes|all> \
+        "usage: repro <table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|pipeline|throttle|ablate|extended|cat|mixes|batch|all> \
          [--quick] [--threads N] [--levels N] [--out DIR]"
     );
     std::process::exit(2);
@@ -123,6 +124,9 @@ fn main() {
         "mixes" => {
             experiments::mixes::run(&ctx);
         }
+        "batch" => {
+            experiments::batch::run(&ctx);
+        }
         "all" => {
             experiments::table1::run(&ctx);
             experiments::fig2::run(&ctx);
@@ -139,6 +143,7 @@ fn main() {
             let ext = experiments::extended::run(&ctx);
             experiments::mixes::run_with(&ctx, Some(&ext.predictor));
             experiments::partition::run(&ctx);
+            experiments::batch::run(&ctx);
         }
         _ => usage(),
     }

@@ -100,7 +100,7 @@ pub fn run_with(ctx: &RunCtx, predictor: Option<&Predictor>) -> MixesOutput {
         Scale::Paper => N_MIXES_PAPER,
         Scale::Test => N_MIXES_QUICK,
     };
-    let mut rng = SmallRng::seed_from_u64(ctx.params.seed ^ 0x317C_55);
+    let mut rng = SmallRng::seed_from_u64(ctx.params.seed ^ 0x0031_7C55);
     let mixes: Vec<Vec<FlowType>> = (0..n_mixes)
         .map(|_| (0..6).map(|_| types[rng.random_range(0..types.len())]).collect())
         .collect();

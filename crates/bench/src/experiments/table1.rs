@@ -6,6 +6,7 @@ use pp_core::prelude::*;
 /// The paper's Table 1 values:
 /// `(name, cpi, l3_refs/s (M), l3_hits/s (M), cycles/pkt, refs/pkt,
 /// misses/pkt, l2_hits/pkt)`.
+#[allow(clippy::type_complexity)]
 pub const PAPER_TABLE1: [(&str, f64, f64, f64, f64, f64, f64, f64); 5] = [
     ("IP", 1.33, 25.85, 20.21, 1813.0, 14.64, 3.19, 18.58),
     ("MON", 1.43, 27.26, 21.32, 2278.0, 19.40, 4.23, 19.58),

@@ -18,6 +18,16 @@ pub struct CostModel {
     /// Per-packet source/driver overhead beyond the charged NIC accesses
     /// (IRQ amortization, prefetch setup, book-keeping arithmetic).
     pub per_packet_overhead: (Cycles, u64),
+    /// The portion of [`per_packet_overhead`](Self::per_packet_overhead)
+    /// that batching amortizes: interrupt handling, doorbell writes, poll
+    /// scheduling. The batched datapath charges this **once per batch**.
+    /// Invariant: `batch_fixed_overhead + batch_per_packet_overhead ==
+    /// per_packet_overhead`, so a one-packet batch charges exactly what the
+    /// scalar path charges.
+    pub batch_fixed_overhead: (Cycles, u64),
+    /// The irreducibly per-packet portion of the source/driver overhead in
+    /// batched mode (per-packet bookkeeping that no batching removes).
+    pub batch_per_packet_overhead: (Cycles, u64),
     /// Header validation: version/length checks plus the 10-word IP
     /// checksum verification.
     pub check_ip_header: (Cycles, u64),
@@ -69,6 +79,8 @@ impl Default for CostModel {
         CostModel {
             element_hop: (12, 10),
             per_packet_overhead: (620, 900),
+            batch_fixed_overhead: (320, 450),
+            batch_per_packet_overhead: (300, 450),
             check_ip_header: (60, 55),
             lookup_step: (7, 8),
             dec_ttl: (12, 10),
@@ -97,6 +109,13 @@ impl CostModel {
     pub fn charge(ctx: &mut pp_sim::ctx::ExecCtx<'_>, cost: (Cycles, u64)) {
         ctx.compute(cost.0, cost.1);
     }
+
+    /// Charge `cost` once per packet for an `n`-packet batch (one `compute`
+    /// call; counter totals equal `n` scalar charges).
+    #[inline]
+    pub fn charge_n(ctx: &mut pp_sim::ctx::ExecCtx<'_>, cost: (Cycles, u64), n: u64) {
+        ctx.compute(cost.0 * n, cost.1 * n);
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +129,8 @@ mod tests {
         for (cy, i) in [
             c.element_hop,
             c.per_packet_overhead,
+            c.batch_fixed_overhead,
+            c.batch_per_packet_overhead,
             c.check_ip_header,
             c.lookup_step,
             c.dec_ttl,
@@ -132,5 +153,21 @@ mod tests {
         // The firewall's per-rule cost dominates its packet cost as in the
         // paper (≈14.7k instructions/packet for 1000 rules).
         assert!(c.fw_rule.1 * 1000 > 10_000);
+    }
+
+    #[test]
+    fn batch_overhead_split_reconstructs_scalar_overhead() {
+        // The bit-for-bit batch=1 guarantee depends on this invariant.
+        let c = CostModel::default();
+        assert_eq!(
+            c.batch_fixed_overhead.0 + c.batch_per_packet_overhead.0,
+            c.per_packet_overhead.0,
+            "cycle split must sum to the scalar per-packet overhead"
+        );
+        assert_eq!(
+            c.batch_fixed_overhead.1 + c.batch_per_packet_overhead.1,
+            c.per_packet_overhead.1,
+            "instruction split must sum to the scalar per-packet overhead"
+        );
     }
 }

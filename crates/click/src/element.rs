@@ -7,10 +7,29 @@
 //! one core; the framework wraps each invocation in the element's function
 //! tag so per-function counters work as in the paper's Fig. 7.
 //!
+//! ## Batched ("vector") execution
+//!
+//! [`Element::process_batch`] receives a whole vector of packets at once.
+//! The default implementation loops over [`Element::process`], so every
+//! element works under [`ElementGraph::run_batch`] unchanged; hot elements
+//! override it to hoist per-packet setup out of the loop and to overlap
+//! independent memory accesses across packets
+//! ([`ExecCtx::read_batch`] — the software analogue of the lookahead
+//! prefetching that batched dataplanes like VPP use). Overrides must keep
+//! one-packet batches charge-identical to the scalar path; the convention
+//! is to fall back to the default loop when `pkts.len() == 1`.
+//!
 //! [`ElementGraph`]: crate::graph::ElementGraph
+//! [`ElementGraph::run_batch`]: crate::graph::ElementGraph::run_batch
 
 use pp_net::packet::Packet;
 use pp_sim::ctx::ExecCtx;
+
+/// Memory-level parallelism assumed by batched element overrides when they
+/// overlap independent per-packet loads with
+/// [`ExecCtx::read_batch`] — the software-lookahead degree. Clamped by the
+/// machine's `max_mlp`.
+pub const BATCH_MLP: u32 = 4;
 
 /// What an element did with the packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +55,20 @@ pub trait Element {
 
     /// Process one packet.
     fn process(&mut self, ctx: &mut ExecCtx<'_>, pkt: &mut Packet) -> Action;
+
+    /// Process a vector of packets, pushing one [`Action`] per packet (in
+    /// packet order) onto `actions`. See the module docs; the default
+    /// simply loops over [`process`](Self::process).
+    fn process_batch(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        pkts: &mut [Packet],
+        actions: &mut Vec<Action>,
+    ) {
+        for pkt in pkts.iter_mut() {
+            actions.push(self.process(ctx, pkt));
+        }
+    }
 
     /// Called once when the flow's measurement interval resets (optional;
     /// elements with epoch state hook this).

@@ -1,12 +1,20 @@
 //! Small per-packet elements: header validation, TTL decrement, transmit
 //! and discard sinks, counters, and a protocol/port classifier.
+//!
+//! `CheckIPHeader`, `DecIPTTL`, and `ToDevice` override
+//! [`Element::process_batch`]: header-line loads are overlapped across the
+//! vector ([`ExecCtx::read_batch`] with [`BATCH_MLP`] lookahead), per-packet
+//! compute is charged in one hoisted call, and `ToDevice` transmits the
+//! whole vector through one amortized `tx_batch`. One-packet batches take
+//! the scalar path, keeping batch size 1 charge-identical.
 
 use crate::cost::CostModel;
-use crate::element::{Action, Element};
+use crate::element::{Action, Element, BATCH_MLP};
 use pp_net::headers::{ethertype, Ipv4Header};
 use pp_net::packet::Packet;
 use pp_sim::ctx::ExecCtx;
 use pp_sim::nic::NicQueue;
+use pp_sim::types::Addr;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -28,6 +36,28 @@ impl CheckIpHeader {
     pub fn new(cost: CostModel) -> Self {
         CheckIpHeader { cost, ok: 0, bad: 0 }
     }
+
+    /// Host-side validation (the real checks; no simulated charges).
+    #[inline]
+    fn validate(pkt: &Packet) -> bool {
+        pkt.ethernet()
+            .map(|e| e.ethertype == ethertype::IPV4)
+            .unwrap_or(false)
+            && pkt.ipv4().is_ok()
+            && Ipv4Header::verify_checksum(&pkt.data[pkt.l3_offset()..])
+    }
+
+    /// Record and translate one validation result.
+    #[inline]
+    fn verdict(&mut self, valid: bool) -> Action {
+        if valid {
+            self.ok += 1;
+            Action::Out(0)
+        } else {
+            self.bad += 1;
+            Action::Drop
+        }
+    }
 }
 
 impl Element for CheckIpHeader {
@@ -46,18 +76,32 @@ impl Element for CheckIpHeader {
             ctx.read_struct(pkt.buf_addr, 34);
         }
         CostModel::charge(ctx, self.cost.check_ip_header);
-        let valid = pkt
-            .ethernet()
-            .map(|e| e.ethertype == ethertype::IPV4)
-            .unwrap_or(false)
-            && pkt.ipv4().is_ok()
-            && Ipv4Header::verify_checksum(&pkt.data[pkt.l3_offset()..]);
-        if valid {
-            self.ok += 1;
-            Action::Out(0)
-        } else {
-            self.bad += 1;
-            Action::Drop
+        let valid = Self::validate(pkt);
+        self.verdict(valid)
+    }
+
+    fn process_batch(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        pkts: &mut [Packet],
+        actions: &mut Vec<Action>,
+    ) {
+        if pkts.len() <= 1 {
+            for pkt in pkts.iter_mut() {
+                actions.push(self.process(ctx, pkt));
+            }
+            return;
+        }
+        // The header lines of distinct packets are independent loads: issue
+        // them with lookahead so the DCA-delivered lines stream in
+        // overlapped, then charge the validation compute once, hoisted.
+        let addrs: Vec<Addr> =
+            pkts.iter().filter(|p| p.buf_addr != 0).map(|p| p.buf_addr).collect();
+        ctx.read_batch(&addrs, BATCH_MLP);
+        CostModel::charge_n(ctx, self.cost.check_ip_header, pkts.len() as u64);
+        for pkt in pkts.iter() {
+            let valid = Self::validate(pkt);
+            actions.push(self.verdict(valid));
         }
     }
 }
@@ -103,6 +147,42 @@ impl Element for DecIpTtl {
             }
         }
     }
+
+    fn process_batch(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        pkts: &mut [Packet],
+        actions: &mut Vec<Action>,
+    ) {
+        if pkts.len() <= 1 {
+            for pkt in pkts.iter_mut() {
+                actions.push(self.process(ctx, pkt));
+            }
+            return;
+        }
+        // Overlap the independent header-line loads across the vector; the
+        // dirtying writes stay per packet (stores drain through the store
+        // buffer, so they are already cheap).
+        let addrs: Vec<Addr> = pkts
+            .iter()
+            .filter(|p| p.buf_addr != 0)
+            .map(|p| p.buf_addr + p.l3_offset() as u64)
+            .collect();
+        ctx.read_batch(&addrs, BATCH_MLP);
+        for &a in &addrs {
+            ctx.write(a);
+        }
+        CostModel::charge_n(ctx, self.cost.dec_ttl, pkts.len() as u64);
+        for pkt in pkts.iter_mut() {
+            actions.push(match pkt.dec_ttl() {
+                Some(_) => Action::Out(0),
+                None => {
+                    self.expired += 1;
+                    Action::Drop
+                }
+            });
+        }
+    }
 }
 
 /// `ToDevice`: transmit the packet (TX descriptor write) and recycle its
@@ -144,6 +224,34 @@ impl Element for ToDevice {
             pkt.buf_addr = 0;
         }
         Action::Consumed
+    }
+
+    fn process_batch(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        pkts: &mut [Packet],
+        actions: &mut Vec<Action>,
+    ) {
+        // Cross-core (shared) transmission has no batched NIC op — the
+        // free-list ping-pong is the point of that configuration.
+        if self.shared || pkts.len() <= 1 {
+            for pkt in pkts.iter_mut() {
+                actions.push(self.process(ctx, pkt));
+            }
+            return;
+        }
+        // One amortized descriptor+free-list transaction for the vector,
+        // and one NIC borrow per batch instead of one per packet.
+        let bufs: Vec<Addr> =
+            pkts.iter().filter(|p| p.buf_addr != 0).map(|p| p.buf_addr).collect();
+        if !bufs.is_empty() {
+            self.nic.borrow_mut().tx_batch(ctx, &bufs);
+        }
+        for pkt in pkts.iter_mut() {
+            self.sent += 1;
+            pkt.buf_addr = 0;
+            actions.push(Action::Consumed);
+        }
     }
 }
 

@@ -16,7 +16,8 @@
 //! sensitivity classes.
 
 use crate::cost::CostModel;
-use crate::element::{Action, Element};
+use crate::element::{Action, Element, BATCH_MLP};
+use crate::elements::radix::push_covering_lines;
 use pp_net::fivetuple::{fnv1a, FlowKey};
 use pp_net::gen::rules::Rule;
 use pp_net::packet::Packet;
@@ -213,6 +214,78 @@ impl TupleSpaceClassifier {
         best.map(|(rule, deny)| Verdict { rule, deny })
     }
 
+    /// Batched classification: for each tuple, the metadata record is read
+    /// **once per batch** (amortized — every packet probes every tuple, so
+    /// the scalar path re-reads it per packet), and each probe round's slot
+    /// reads are issued overlapped across lanes
+    /// ([`read_batch`](ExecCtx::read_batch)): probe chains are dependent
+    /// within a lane but independent across lanes. Matching semantics,
+    /// probe counts, and per-packet `class_tuple` compute are identical to
+    /// per-packet [`classify`](Self::classify) calls.
+    pub fn classify_batch(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        keys: &[FlowKey],
+        mlp: u32,
+    ) -> Vec<Option<Verdict>> {
+        let n = keys.len();
+        if n == 0 {
+            // No parsable packets: charge nothing, exactly as the scalar
+            // path (which drops before classifying) would.
+            return Vec::new();
+        }
+        let mut best: Vec<Option<(u16, bool)>> = vec![None; n];
+        let mut probe: Vec<u32> = vec![0; n];
+        let mut masked: Vec<(u32, u32)> = vec![(0, 0); n];
+        let mut alive: Vec<usize> = Vec::with_capacity(n);
+        let mut addrs: Vec<u64> = Vec::with_capacity(n);
+        let mut next_alive: Vec<usize> = Vec::with_capacity(n);
+        for t in 0..self.tuples.len() {
+            let meta = self.tuples.read(ctx, t);
+            CostModel::charge_n(ctx, self.cost.class_tuple, n as u64);
+            alive.clear();
+            for (l, key) in keys.iter().enumerate() {
+                let src_m = mask_addr(u32::from(key.src), meta.src_len);
+                let dst_m = mask_addr(u32::from(key.dst), meta.dst_len);
+                masked[l] = (src_m, dst_m);
+                probe[l] = tuple_hash(src_m, dst_m) as u32 & meta.mask;
+                alive.push(l);
+            }
+            while !alive.is_empty() {
+                // One probe round: every live lane's slot, overlapped.
+                addrs.clear();
+                for &l in &alive {
+                    push_covering_lines(
+                        &mut addrs,
+                        self.slots.addr_of((meta.table_off + probe[l]) as usize),
+                        self.slots.stride(),
+                    );
+                }
+                ctx.read_batch(&addrs, mlp);
+                next_alive.clear();
+                for &l in &alive {
+                    self.probes += 1;
+                    let rec = *self.slots.peek((meta.table_off + probe[l]) as usize);
+                    if rec.flags & OCCUPIED == 0 {
+                        continue; // chain ends for this lane
+                    }
+                    let (src_m, dst_m) = masked[l];
+                    if Self::rec_matches(&rec, &keys[l], src_m, dst_m)
+                        && best[l].map(|(bp, _)| rec.priority < bp).unwrap_or(true)
+                    {
+                        best[l] = Some((rec.priority, rec.flags & DENY != 0));
+                    }
+                    probe[l] = (probe[l] + 1) & meta.mask;
+                    next_alive.push(l);
+                }
+                std::mem::swap(&mut alive, &mut next_alive);
+            }
+        }
+        best.into_iter()
+            .map(|b| b.map(|(rule, deny)| Verdict { rule, deny }))
+            .collect()
+    }
+
     /// Host-side classification (no simulated charges): the oracle used by
     /// tests against a linear scan of the rule set.
     pub fn classify_host(&self, key: &FlowKey) -> Option<Verdict> {
@@ -230,7 +303,7 @@ impl TupleSpaceClassifier {
                 if rec.flags & OCCUPIED == 0 {
                     break;
                 }
-                if Self::rec_matches(&rec, key, src_m, dst_m)
+                if Self::rec_matches(rec, key, src_m, dst_m)
                     && best.map(|(bp, _)| rec.priority < bp).unwrap_or(true)
                 {
                     best = Some((rec.priority, rec.flags & DENY != 0));
@@ -278,6 +351,58 @@ impl Element for TupleSpaceClassifier {
                 Action::Drop
             }
         }
+    }
+
+    fn process_batch(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        pkts: &mut [Packet],
+        actions: &mut Vec<Action>,
+    ) {
+        if pkts.len() <= 1 {
+            for pkt in pkts.iter_mut() {
+                actions.push(self.process(ctx, pkt));
+            }
+            return;
+        }
+        let hdrs: Vec<u64> = pkts
+            .iter()
+            .filter(|p| p.buf_addr != 0)
+            .map(|p| p.buf_addr + p.l3_offset() as u64)
+            .collect();
+        ctx.read_batch(&hdrs, BATCH_MLP);
+        let mut keys = Vec::with_capacity(pkts.len());
+        let mut lanes = Vec::with_capacity(pkts.len());
+        for (i, pkt) in pkts.iter().enumerate() {
+            if let Ok(key) = pkt.flow_key() {
+                keys.push(key);
+                lanes.push(i);
+            }
+        }
+        let verdicts = self.classify_batch(ctx, &keys, BATCH_MLP);
+        let mut out = vec![Action::Drop; pkts.len()];
+        for (&lane, v) in lanes.iter().zip(verdicts) {
+            out[lane] = match v {
+                Some(v) => {
+                    if v.rule as usize + 1 == self.n_rules {
+                        self.default_matches += 1;
+                    } else {
+                        self.specific_matches += 1;
+                    }
+                    if v.deny {
+                        self.denied += 1;
+                        Action::Drop
+                    } else {
+                        Action::Out(0)
+                    }
+                }
+                None => {
+                    self.denied += 1;
+                    Action::Drop
+                }
+            };
+        }
+        actions.extend(out);
     }
 }
 

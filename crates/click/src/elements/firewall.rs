@@ -6,7 +6,7 @@
 //! *least* sensitive/aggressive workload.
 
 use crate::cost::CostModel;
-use crate::element::{Action, Element};
+use crate::element::{Action, Element, BATCH_MLP};
 use pp_net::fivetuple::FlowKey;
 use pp_net::gen::rules::Rule;
 use pp_net::packet::Packet;
@@ -130,6 +130,78 @@ impl Element for Firewall {
                 self.passed += 1;
                 Action::Out(0)
             }
+        }
+    }
+
+    fn process_batch(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        pkts: &mut [Packet],
+        actions: &mut Vec<Action>,
+    ) {
+        if pkts.len() <= 1 {
+            for pkt in pkts.iter_mut() {
+                actions.push(self.process(ctx, pkt));
+            }
+            return;
+        }
+        // Header touches overlapped across the vector.
+        let hdrs: Vec<u64> = pkts
+            .iter()
+            .filter(|p| p.buf_addr != 0)
+            .map(|p| p.buf_addr + p.l3_offset() as u64)
+            .collect();
+        ctx.read_batch(&hdrs, BATCH_MLP);
+        // Loop interchange: outer over rules, inner over packets. Each rule
+        // record is *read once per batch* instead of once per packet (the
+        // classic batched-scan amortization); the per-rule evaluation
+        // arithmetic stays per packet. Per-packet early exit on match is
+        // preserved — a matched lane stops being evaluated.
+        let mut keys: Vec<Option<FlowKey>> = Vec::with_capacity(pkts.len());
+        let mut alive = 0usize;
+        for pkt in pkts.iter() {
+            match pkt.flow_key() {
+                Ok(k) => {
+                    keys.push(Some(k));
+                    alive += 1;
+                }
+                Err(_) => keys.push(None),
+            }
+        }
+        let mut verdicts: Vec<Option<Action>> = keys
+            .iter()
+            .map(|k| if k.is_none() { Some(Action::Drop) } else { None })
+            .collect();
+        let n_rules = self.rules.len();
+        for i in 0..n_rules {
+            if alive == 0 {
+                break;
+            }
+            let rec = self.rules.read(ctx, i);
+            for (lane, key) in keys.iter().enumerate() {
+                if verdicts[lane].is_some() {
+                    continue;
+                }
+                let key = key.as_ref().expect("alive lane has a key");
+                CostModel::charge(ctx, self.cost.fw_rule);
+                if rec.matches(
+                    u32::from(key.src),
+                    u32::from(key.dst),
+                    key.src_port,
+                    key.dst_port,
+                    key.protocol,
+                ) {
+                    self.matched += 1;
+                    verdicts[lane] = Some(Action::Drop);
+                    alive -= 1;
+                }
+            }
+        }
+        for v in verdicts {
+            actions.push(v.unwrap_or_else(|| {
+                self.passed += 1;
+                Action::Out(0)
+            }));
         }
     }
 }

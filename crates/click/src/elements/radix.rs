@@ -19,11 +19,25 @@
 //! full δ — the paper's sensitivity mechanism.
 
 use crate::cost::CostModel;
-use crate::element::{Action, Element};
+use crate::element::{Action, Element, BATCH_MLP};
 use pp_net::gen::prefixes::PrefixEntry;
 use pp_net::packet::Packet;
 use pp_sim::arena::{DomainAllocator, SimVec};
 use pp_sim::ctx::ExecCtx;
+use pp_sim::types::CACHE_LINE;
+
+/// Append every cache line covering `[addr, addr + len)` to `out` — the
+/// batched walks must charge exactly the lines the scalar
+/// `SimVec::read` (via `read_struct`) touches.
+#[inline]
+pub(crate) fn push_covering_lines(out: &mut Vec<u64>, addr: u64, len: u64) {
+    let mut line = addr & !(CACHE_LINE - 1);
+    let end = addr + len.max(1);
+    while line < end {
+        out.push(line);
+        line += CACHE_LINE;
+    }
+}
 
 /// Packed trie entry.
 ///
@@ -299,6 +313,79 @@ impl BinaryRadixTrie {
         self.nodes.footprint() + self.routes.footprint()
     }
 
+    /// Batched longest-prefix match: walks all lanes level-synchronously,
+    /// issuing each level's node reads as one overlapped
+    /// [`read_batch`](ExecCtx::read_batch) (the lanes' reads are
+    /// independent of each other, dependent only within a lane — exactly
+    /// the G-opt/"software lookahead" structure). Visits the same nodes and
+    /// returns the same `(next_hop, levels)` per lane as per-lane
+    /// [`lookup`](Self::lookup) calls; only the core-visible stall shrinks.
+    pub fn lookup_batch(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        dsts: &[u32],
+        mlp: u32,
+    ) -> Vec<(Option<u32>, u32)> {
+        let n = dsts.len();
+        // Per-lane walk state.
+        let mut cur = vec![0usize; n];
+        let mut best = vec![0u32; n];
+        let mut levels = vec![0u32; n];
+        let mut alive: Vec<usize> = (0..n).collect();
+        let mut addrs: Vec<u64> = Vec::with_capacity(n);
+        let mut next_alive: Vec<usize> = Vec::with_capacity(n);
+        for depth in 0..=32u32 {
+            if alive.is_empty() {
+                break;
+            }
+            // Issue the whole level's node lines overlapped...
+            addrs.clear();
+            for &l in &alive {
+                push_covering_lines(&mut addrs, self.nodes.addr_of(cur[l]), self.nodes.stride());
+            }
+            ctx.read_batch(&addrs, mlp);
+            // ...then advance each lane host-side over the same nodes.
+            next_alive.clear();
+            for &l in &alive {
+                let node = *self.nodes.peek(cur[l]);
+                levels[l] += 1;
+                if node[2] != 0 {
+                    best[l] = node[2];
+                }
+                if depth == 32 {
+                    continue;
+                }
+                let bit = ((dsts[l] >> (31 - depth)) & 1) as usize;
+                let child = node[bit];
+                if child != NO_CHILD {
+                    cur[l] = child as usize;
+                    next_alive.push(l);
+                }
+            }
+            std::mem::swap(&mut alive, &mut next_alive);
+        }
+        // Final dependent reads: the matched route entries, overlapped.
+        addrs.clear();
+        for &b in best.iter().filter(|&&b| b != 0) {
+            push_covering_lines(
+                &mut addrs,
+                self.routes.addr_of(leaf_hop(b) as usize),
+                self.routes.stride(),
+            );
+        }
+        ctx.read_batch(&addrs, mlp);
+        (0..n)
+            .map(|l| {
+                if best[l] != 0 {
+                    let route = self.routes.peek(leaf_hop(best[l]) as usize);
+                    (Some(route[0]), levels[l] + 1)
+                } else {
+                    (None, levels[l])
+                }
+            })
+            .collect()
+    }
+
     /// Longest-prefix match with simulated charging: one dependent node
     /// read per level. Returns `(next_hop, levels_visited)`.
     pub fn lookup(&self, ctx: &mut ExecCtx<'_>, dst: u32) -> (Option<u32>, u32) {
@@ -430,6 +517,57 @@ impl Element for RadixIpLookup {
             }
         }
     }
+
+    fn process_batch(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        pkts: &mut [Packet],
+        actions: &mut Vec<Action>,
+    ) {
+        if pkts.len() <= 1 {
+            for pkt in pkts.iter_mut() {
+                actions.push(self.process(ctx, pkt));
+            }
+            return;
+        }
+        // Header touches for the whole vector, overlapped.
+        let hdrs: Vec<u64> = pkts
+            .iter()
+            .filter(|p| p.buf_addr != 0)
+            .map(|p| p.buf_addr + p.l3_offset() as u64 + 16)
+            .collect();
+        ctx.read_batch(&hdrs, BATCH_MLP);
+        // Parse destinations host-side; unparsable packets drop as in the
+        // scalar path, the rest walk the trie level-synchronously.
+        let mut dsts = Vec::with_capacity(pkts.len());
+        let mut lanes = Vec::with_capacity(pkts.len());
+        for (i, pkt) in pkts.iter().enumerate() {
+            if let Ok(ip) = pkt.ipv4() {
+                dsts.push(u32::from(ip.dst));
+                lanes.push(i);
+            }
+        }
+        let results = self.trie.lookup_batch(ctx, &dsts, BATCH_MLP);
+        let mut total_levels = 0u64;
+        let mut verdicts = vec![Action::Drop; pkts.len()];
+        for (&lane, (hop, levels)) in lanes.iter().zip(results) {
+            total_levels += levels as u64;
+            self.levels_total += levels as u64;
+            verdicts[lane] = match hop {
+                Some(_) => {
+                    self.found += 1;
+                    Action::Out(0)
+                }
+                None => {
+                    self.no_route += 1;
+                    Action::Drop
+                }
+            };
+        }
+        CostModel::charge(ctx, (self.cost.lookup_step.0 * total_levels,
+                                self.cost.lookup_step.1 * total_levels));
+        actions.extend(verdicts);
+    }
 }
 
 /// Ablation element: the same lookup function implemented with the
@@ -555,7 +693,7 @@ mod tests {
             let ip: u32 = rng.random();
             let (hop, levels) = trie.lookup(&mut ctx, ip);
             assert_eq!(hop, trie.lookup_host(ip));
-            assert!(levels >= 1 && levels <= 5);
+            assert!((1..=5).contains(&levels));
         }
         // Dependent reads were charged.
         assert!(m.core(CoreId(0)).counters.total().l1_refs >= 200);

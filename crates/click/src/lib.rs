@@ -15,6 +15,33 @@
 //!
 //! Use [`pipelines::build_flow`] for ready-made paper workloads, or compose
 //! custom graphs from [`elements`].
+//!
+//! ## Vectorized (batched) execution
+//!
+//! Beyond the paper's packet-at-a-time model, the framework has a batched
+//! datapath ([`flow::FlowTask::with_batch_size`]): one engine turn receives
+//! a whole packet vector from the NIC (`rx_batch`), pushes it through the
+//! graph with [`graph::ElementGraph::run_batch`], and transmits/recycles it
+//! in one amortized NIC transaction. The cost-model contract is:
+//!
+//! | charge | scalar path | batched path |
+//! |---|---|---|
+//! | element dispatch (`element_hop`) + tag scope | per element **per packet** | per element **per batch** |
+//! | source/driver overhead | `per_packet_overhead` per packet | `batch_fixed_overhead` per batch + `batch_per_packet_overhead` per packet (the two sum to the scalar value) |
+//! | [`flow::FrameworkChurn`] (I-cache/metadata footprint) | per packet | per batch |
+//! | NIC descriptor ring | read+write per packet | read+write per descriptor *cache line* (4 descriptors/line) |
+//! | NIC buffer free list | read+write per packet | read+write per batch |
+//! | application work (lookups, scans, crypto, payload) | per packet | per packet (unchanged) |
+//!
+//! Hot elements (`CheckIPHeader`, `DecIPTTL`, `RadixIPLookup`, `Firewall`,
+//! `TupleSpaceClassifier`, `ToDevice`) override
+//! [`element::Element::process_batch`] to hoist per-packet setup and issue
+//! independent per-packet loads overlapped (`ExecCtx::read_batch` with
+//! [`element::BATCH_MLP`] lookahead — software prefetching across lanes);
+//! every other element runs unchanged through the default per-packet loop.
+//! A batch size of 1 reproduces the scalar path **bit for bit** (same
+//! packet, drop, cycle, and per-tag counters), which anchors batch-size
+//! sweeps (`repro batch`) to the paper's scalar numbers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,7 +58,7 @@ pub mod pipelines;
 pub mod prelude {
     pub use crate::config::{build_config, parse_config, BuildCtx, BuiltConfig, ConfigError};
     pub use crate::cost::CostModel;
-    pub use crate::element::{Action, Element};
+    pub use crate::element::{Action, Element, BATCH_MLP};
     pub use crate::elements::aes::Aes128;
     pub use crate::elements::basic::{
         CheckIpHeader, ClassRule, Classifier, Counter, DecIpTtl, Discard, ToDevice,
@@ -48,7 +75,7 @@ pub mod prelude {
     pub use crate::elements::synthetic::{SynParams, Synthetic};
     pub use crate::elements::vpn::VpnEncrypt;
     pub use crate::flow::{FlowTask, SinkStage, SourceStage};
-    pub use crate::graph::{ElementGraph, ElementId, GraphOutcome};
+    pub use crate::graph::{BatchOutcome, ElementGraph, ElementId, GraphOutcome};
     pub use crate::pipelines::{
         build_flow, build_pipeline, two_phase_parallel, two_phase_pipeline, BuiltFlow,
         ChainKind, FlowSpec, TwoPhaseParams,

@@ -131,6 +131,9 @@ pub struct FlowSpec {
     pub n_class_rules: usize,
     /// Prepend a `Control` element (for throttling experiments).
     pub with_control: bool,
+    /// Packets per engine turn: 0 = scalar path, n ≥ 1 = batched datapath
+    /// with n-packet vectors (see [`FlowTask::with_batch_size`]).
+    pub batch_size: usize,
 }
 
 impl FlowSpec {
@@ -151,6 +154,7 @@ impl FlowSpec {
             nat: NatConfig::default(),
             n_class_rules: 16_000,
             with_control: false,
+            batch_size: 0,
         }
     }
 
@@ -320,8 +324,11 @@ pub fn build_flow(machine: &mut Machine, domain: MemDomain, spec: &FlowSpec) -> 
     let (graph, control) = build_graph(machine, domain, &nic, spec, false);
     let churn = FrameworkChurn::new(machine.allocator(domain), &spec.cost);
     let gen = TrafficGen::new(spec.traffic());
-    let task =
+    let mut task =
         FlowTask::new(spec.kind.name(), gen, nic, graph, spec.cost).with_churn(churn);
+    if spec.batch_size >= 1 {
+        task = task.with_batch_size(spec.batch_size);
+    }
     BuiltFlow { task, control }
 }
 

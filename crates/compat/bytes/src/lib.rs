@@ -1,0 +1,209 @@
+//! Minimal, API-compatible shim for the subset of the [`bytes`] crate used
+//! by this workspace (`BytesMut` as a growable, sliceable byte buffer).
+//!
+//! The build environment has no route to a crates.io mirror, so the few
+//! entry points the packet substrate needs are provided locally. The shim
+//! is a thin wrapper over `Vec<u8>`; it does not implement the zero-copy
+//! reference counting of the real crate (nothing in this workspace relies
+//! on it — packets own their frames outright).
+//!
+//! [`bytes`]: https://docs.rs/bytes
+
+#![forbid(unsafe_code)]
+
+use std::borrow::{Borrow, BorrowMut};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A unique, growable buffer of bytes (shim over `Vec<u8>`).
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// An empty buffer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { inner: Vec::with_capacity(capacity) }
+    }
+
+    /// A buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> Self {
+        BytesMut { inner: vec![0u8; len] }
+    }
+
+    /// Copy `data` into a fresh buffer.
+    pub fn from_slice(data: &[u8]) -> Self {
+        BytesMut { inner: data.to_vec() }
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Append `extend` to the buffer.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.inner.extend_from_slice(extend);
+    }
+
+    /// Shorten the buffer to `len` bytes (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.inner.truncate(len);
+    }
+
+    /// Grow or shrink to `new_len`, filling new bytes with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.inner.resize(new_len, value);
+    }
+
+    /// Clear the buffer.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// View as a byte slice.
+    #[allow(clippy::should_implement_trait)]
+    pub fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+
+    /// View as a mutable byte slice.
+    #[allow(clippy::should_implement_trait)]
+    pub fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl Borrow<[u8]> for BytesMut {
+    fn borrow(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl BorrowMut<[u8]> for BytesMut {
+    fn borrow_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in &self.inner {
+            if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(inner: Vec<u8>) -> Self {
+        BytesMut { inner }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> Self {
+        BytesMut::from_slice(data)
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.inner
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
+        self.inner.extend(iter);
+    }
+}
+
+impl PartialEq<[u8]> for BytesMut {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.inner.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for BytesMut {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.inner.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for BytesMut {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.inner == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_and_index() {
+        let mut b = BytesMut::zeroed(8);
+        assert_eq!(b.len(), 8);
+        assert!(b.iter().all(|&x| x == 0));
+        b[3] = 0xAB;
+        assert_eq!(b[3], 0xAB);
+        b[0..2].copy_from_slice(&[1, 2]);
+        assert_eq!(&b[..4], &[1, 2, 0, 0xAB]);
+    }
+
+    #[test]
+    fn equality_and_clone() {
+        let a = BytesMut::from_slice(b"hello");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a, b"hello"[..]);
+    }
+
+    #[test]
+    fn debug_is_readable() {
+        let b = BytesMut::from_slice(b"a\x00b");
+        assert_eq!(format!("{b:?}"), "b\"a\\x00b\"");
+    }
+}

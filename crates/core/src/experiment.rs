@@ -323,21 +323,21 @@ where
         return items.into_iter().map(f).collect();
     }
     let n = items.len();
-    let (in_tx, in_rx) = crossbeam::channel::unbounded::<(usize, I)>();
-    let (out_tx, out_rx) = crossbeam::channel::unbounded::<(usize, O)>();
-    for pair in items.into_iter().enumerate() {
-        in_tx.send(pair).unwrap();
-    }
-    drop(in_tx);
+    // A shared work queue plus an mpsc results channel covers the MPMC
+    // pattern with std primitives alone (no external channel crate).
+    let queue = std::sync::Mutex::new(
+        items.into_iter().enumerate().collect::<std::collections::VecDeque<(usize, I)>>(),
+    );
+    let (out_tx, out_rx) = std::sync::mpsc::channel::<(usize, O)>();
     std::thread::scope(|s| {
         for _ in 0..threads.min(n) {
-            let in_rx = in_rx.clone();
             let out_tx = out_tx.clone();
+            let queue = &queue;
             let f = &f;
-            s.spawn(move || {
-                while let Ok((i, item)) = in_rx.recv() {
-                    out_tx.send((i, f(item))).unwrap();
-                }
+            s.spawn(move || loop {
+                let next = queue.lock().expect("work queue poisoned").pop_front();
+                let Some((i, item)) = next else { break };
+                out_tx.send((i, f(item))).expect("result receiver dropped");
             });
         }
         drop(out_tx);

@@ -71,7 +71,9 @@ pub mod prelude {
         run_scenario, solo_scenario, ContentionConfig, CoRunOutcome, ExpParams,
         FlowPlacement, FlowResult, Scenario, ScenarioResult,
     };
-    pub use crate::model::{eq1_drop, worst_case_drop, CacheModel, PAPER_DELTA_SECS};
+    pub use crate::model::{
+        eq1_drop, worst_case_drop, BatchAmortization, CacheModel, PAPER_DELTA_SECS,
+    };
     pub use crate::persist::{PersistError, ProfileStore, StoredProfile};
     pub use crate::placement::{
         enumerate_placements, evaluate_measured, evaluate_predicted, study_measured,

@@ -110,7 +110,7 @@ fn random_unicast(rng: &mut SmallRng) -> Ipv4Addr {
     loop {
         let v: u32 = rng.random();
         let first = (v >> 24) as u8;
-        if first >= 1 && first <= 223 && first != 127 {
+        if (1..=223).contains(&first) && first != 127 {
             return Ipv4Addr::from(v);
         }
     }

@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod checksum;
 pub mod error;
 pub mod fivetuple;
@@ -34,6 +35,7 @@ pub mod prelude {
     pub use crate::headers::{
         ethertype, ip_proto, EthernetHeader, Ipv4Header, MacAddr, TcpHeader, UdpHeader,
     };
+    pub use crate::batch::PacketBatch;
     pub use crate::packet::{Packet, PacketBuilder};
     pub use crate::pcap::PcapWriter;
 }

@@ -96,6 +96,12 @@ impl<T: Copy> SimVec<T> {
         self.base + i as u64 * self.stride
     }
 
+    /// Bytes per element (the span a [`read`](Self::read) charges).
+    #[inline]
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
     /// First simulated address of the array.
     pub fn base(&self) -> Addr {
         self.base

@@ -38,7 +38,7 @@ impl CacheGeom {
     /// Number of sets (lines / ways).
     pub fn num_sets(&self) -> u64 {
         assert!(
-            self.num_lines() % self.ways as u64 == 0,
+            self.num_lines().is_multiple_of(self.ways as u64),
             "lines ({}) not divisible by ways ({})",
             self.num_lines(),
             self.ways

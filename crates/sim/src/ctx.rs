@@ -192,6 +192,12 @@ impl<'a> ExecCtx<'a> {
         self.machine.core_mut(self.core).counters.bump(|c| c.packets += 1);
     }
 
+    /// Count `n` retired packets on this core (batched completion).
+    #[inline]
+    pub fn retire_packets(&mut self, n: u64) {
+        self.machine.core_mut(self.core).counters.bump(|c| c.packets += n);
+    }
+
     /// NIC DMA delivering a packet for this core's socket at the current
     /// clock (Direct Cache Access per machine configuration).
     pub fn dma_deliver(&mut self, addr: Addr, len: u64) {

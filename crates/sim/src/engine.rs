@@ -32,9 +32,11 @@ pub trait CoreTask {
     /// assert against it).
     fn run_turn(&mut self, ctx: &mut ExecCtx<'_>) -> TurnResult;
 
-    /// Human-readable label for reports.
-    fn label(&self) -> String {
-        "task".to_string()
+    /// Human-readable label for reports. Returns a borrowed string so the
+    /// hot engine loop never clones per turn; the engine copies it only
+    /// when building a measurement.
+    fn label(&self) -> &str {
+        "task"
     }
 }
 
@@ -181,7 +183,7 @@ impl Engine {
                 let metrics = DerivedMetrics::from_counts(&counts.total, window, freq);
                 let label = self.tasks[core.index()]
                     .as_ref()
-                    .map(|t| t.label())
+                    .map(|t| t.label().to_string())
                     .unwrap_or_default();
                 CoreMeasurement { core, label, counts, metrics }
             })
@@ -213,8 +215,8 @@ mod tests {
             ctx.retire_packet();
             TurnResult::Progress
         }
-        fn label(&self) -> String {
-            "striding".into()
+        fn label(&self) -> &str {
+            "striding"
         }
     }
 
@@ -233,7 +235,7 @@ mod tests {
             e.set_task(
                 CoreId(i),
                 Box::new(Striding {
-                    base: MemDomain(0).base() + (i as u64) << 30,
+                    base: (MemDomain(0).base() + (i as u64)) << 30,
                     i: 0,
                     stride: 64,
                     span: 1 << 20,

@@ -280,14 +280,13 @@ impl Machine {
     /// Insert into a core's L1, pushing any dirty victim down the hierarchy.
     fn fill_l1(&mut self, ci: usize, addr: Addr, dirty: bool, now: Cycles) {
         if let Some(ev) = self.l1[ci].insert(addr, dirty, 0) {
-            if ev.dirty {
-                if self.l2[ci].access(ev.line_addr, true, 0) == LookupResult::Miss {
+            if ev.dirty
+                && self.l2[ci].access(ev.line_addr, true, 0) == LookupResult::Miss {
                     // Not in L2 (back-invalidated or capacity-evicted);
                     // forward to L3 / memory.
                     let si = self.cores[ci].socket.index();
                     self.writeback(si, ev.line_addr, now);
                 }
-            }
         }
     }
 
@@ -505,7 +504,7 @@ mod tests {
         let mut m = machine();
         let base = MemDomain(0).base();
         let l2_lines = m.config().l2.num_lines();
-        let n = (l2_lines * 4) as u64; // 4x L2 capacity, << L3 capacity
+        let n = l2_lines * 4; // 4x L2 capacity, << L3 capacity
         for i in 0..n {
             m.demand_access(CoreId(0), base + i * CACHE_LINE, AccessKind::Read);
         }
@@ -526,7 +525,7 @@ mod tests {
         assert!(m.l1_holds(CoreId(0), hot));
         let l3_lines = m.config().l3.num_lines();
         let base = MemDomain(0).base() + (1u64 << 30);
-        for i in 0..(l3_lines * 2) as u64 {
+        for i in 0..(l3_lines * 2) {
             m.demand_access(CoreId(1), base + i * CACHE_LINE, AccessKind::Read);
         }
         assert!(!m.l3_holds(SocketId(0), hot), "hot line should be evicted from L3");
@@ -569,7 +568,7 @@ mod tests {
         m.demand_access(CoreId(0), base, AccessKind::Write);
         let l3_lines = m.config().l3.num_lines();
         let far = base + (1u64 << 30);
-        for i in 0..(l3_lines * 2) as u64 {
+        for i in 0..(l3_lines * 2) {
             m.demand_access(CoreId(0), far + i * CACHE_LINE, AccessKind::Read);
         }
         assert!(m.memctrl_stats(SocketId(0)).writes >= 1, "dirty data must reach DRAM");
@@ -647,7 +646,7 @@ mod tests {
             m.demand_access(CoreId(0), hot, AccessKind::Read);
             let l3_lines = m.config().l3.num_lines();
             let far = MemDomain(0).base() + (1u64 << 30);
-            for i in 0..(l3_lines * 2) as u64 {
+            for i in 0..(l3_lines * 2) {
                 m.demand_access(CoreId(1), far + i * CACHE_LINE, AccessKind::Read);
             }
             m.l3_holds(SocketId(0), hot)

@@ -42,8 +42,7 @@ fn main() {
         worst.avg_drop
     );
     println!(
-        "\nScheduling benefit: {:.2} pp — {}",
-        worst.avg_drop - best.avg_drop,
-        "the paper's conclusion: contention-aware scheduling may not be worth the effort."
+        "\nScheduling benefit: {:.2} pp — the paper's conclusion: contention-aware scheduling may not be worth the effort.",
+        worst.avg_drop - best.avg_drop
     );
 }

@@ -1,0 +1,147 @@
+//! Cross-crate integration tests for the vectorized (batched) datapath:
+//! batch=1 equivalence with the scalar path on the paper's application set,
+//! order preservation, and amortization behaviour end to end.
+
+use predictable_pp::prelude::*;
+use predictable_pp::sim::config::MachineConfig;
+use predictable_pp::sim::engine::{CoreTask, Engine};
+use predictable_pp::sim::machine::Machine;
+use predictable_pp::sim::types::{CoreId, MemDomain};
+
+/// Run one flow of `kind` for a fixed simulated window (as the engine
+/// would for a solo task) and return everything a bit-for-bit comparison
+/// needs.
+fn measure(
+    kind: ChainKind,
+    batch: usize,
+) -> (
+    predictable_pp::sim::counters::CounterSnapshot,
+    u64, // clock
+    u64, // graph drops
+    u64, // graph exits
+) {
+    let mut m = Machine::new(MachineConfig::westmere());
+    let mut spec = FlowSpec::small(kind, 23);
+    spec.batch_size = batch;
+    let mut flow = build_flow(&mut m, MemDomain(0), &spec).task;
+    while m.core(CoreId(0)).clock < 4_000_000 {
+        let mut ctx = m.ctx(CoreId(0));
+        let _ = flow.run_turn(&mut ctx);
+    }
+    let snap = m.core(CoreId(0)).counters.snapshot();
+    let clock = m.core(CoreId(0)).clock;
+    (snap, clock, flow.graph().drops, flow.graph().exits)
+}
+
+#[test]
+fn batch_one_is_bit_for_bit_scalar_across_the_application_set() {
+    // The fig2/fig4 application set: every realistic chain must measure
+    // identically under the batched path at batch size 1.
+    for kind in [ChainKind::Ip, ChainKind::Mon, ChainKind::Fw, ChainKind::Vpn, ChainKind::Re]
+    {
+        let (s_snap, s_clock, s_drops, s_exits) = measure(kind, 0);
+        let (b_snap, b_clock, b_drops, b_exits) = measure(kind, 1);
+        assert_eq!(
+            s_snap.total,
+            b_snap.total,
+            "{}: totals must match bit for bit",
+            kind.name()
+        );
+        assert_eq!(s_clock, b_clock, "{}: clocks must match", kind.name());
+        assert_eq!((s_drops, s_exits), (b_drops, b_exits), "{}: graph outcomes", kind.name());
+        assert_eq!(
+            s_snap.tags.len(),
+            b_snap.tags.len(),
+            "{}: same tag set",
+            kind.name()
+        );
+        for (tag, counts) in &s_snap.tags {
+            assert_eq!(
+                Some(counts),
+                b_snap.tag(tag),
+                "{}: per-tag counters for {tag}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn framework_cycles_per_packet_fall_with_batch_size() {
+    // The amortization claim end to end: the framework + untagged
+    // (overhead + hop) share of per-packet cycles must shrink as the batch
+    // grows, for a cheap chain and an expensive one.
+    for kind in [ChainKind::Ip, ChainKind::Fw] {
+        let framework_pp = |batch: usize| {
+            let (snap, _, _, _) = measure(kind, batch);
+            let tagged: u64 = snap.tags.iter().map(|(_, c)| c.cycles()).sum();
+            let framework =
+                snap.tag("framework").map(|c| c.cycles()).unwrap_or(0);
+            let untagged = snap.total.cycles() - tagged;
+            (untagged + framework) as f64 / snap.total.packets as f64
+        };
+        let b1 = framework_pp(1);
+        let b8 = framework_pp(8);
+        let b64 = framework_pp(64);
+        assert!(
+            b1 > b8 && b8 > b64,
+            "{}: framework cycles/packet must fall: {b1:.1} -> {b8:.1} -> {b64:.1}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn batched_throughput_beats_scalar_on_ip() {
+    let pps = |batch: usize| {
+        let mut m = Machine::new(MachineConfig::westmere());
+        let mut spec = FlowSpec::small(ChainKind::Ip, 9);
+        spec.batch_size = batch;
+        let built = build_flow(&mut m, MemDomain(0), &spec);
+        let mut e = Engine::new(m);
+        e.set_task(CoreId(0), Box::new(built.task));
+        let meas = e.measure(1_000_000, 5_600_000);
+        meas.core(CoreId(0)).unwrap().metrics.pps
+    };
+    let scalar = pps(0);
+    let batched = pps(32);
+    assert!(
+        batched > scalar * 1.3,
+        "IP at batch 32 should beat scalar by well over 30%: {scalar:.0} -> {batched:.0} pps"
+    );
+}
+
+#[test]
+fn packet_batch_round_trips_through_a_graph() {
+    use predictable_pp::net::packet::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    let cost = CostModel::default();
+    let mut m = Machine::new(MachineConfig::westmere());
+    let mut g = ElementGraph::new(cost);
+    let chk = g.add(Box::new(CheckIpHeader::new(cost)));
+    let cnt = g.add(Box::new(Counter::default()));
+    g.chain(&[chk, cnt]); // counter's port 0 unwired: packets exit in order
+    let pkts: Vec<_> = (0..5u16)
+        .map(|i| {
+            PacketBuilder::default().udp(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                1000 + i,
+                53,
+                b"x",
+            )
+        })
+        .collect();
+    let batch = PacketBatch::from_packets(pkts);
+    let mut ctx = m.ctx(CoreId(0));
+    let out = g.run_batch(&mut ctx, batch);
+    assert_eq!(out.consumed, 0);
+    let ports: Vec<u16> = out
+        .returned
+        .iter()
+        .map(|p| p.flow_key().unwrap().src_port)
+        .collect();
+    assert_eq!(ports, vec![1000, 1001, 1002, 1003, 1004], "exit order preserved");
+    assert_eq!(g.exits, 5);
+}

@@ -358,7 +358,7 @@ proptest! {
         let mut line = start_line as i64;
         for _ in 0..6 {
             let addr = base + (line as u64) * 64;
-            if line < 0 || line >= 64 { break; }
+            if !(0..64).contains(&line) { break; }
             let (targets, n) = pf.train(addr);
             for &t in &targets[..n] {
                 prop_assert_eq!(t >> 12, page, "prefetch crossed the page");
