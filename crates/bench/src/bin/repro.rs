@@ -14,6 +14,7 @@
 //!   fig9       Fig. 9   — prediction for the mixed workload
 //!   fig10      Fig. 10  — best/worst placement study
 //!   pipeline   §2.2     — pipeline vs parallel
+//!   pipeline-batch extras — burst-mode cross-core handoff sweep (throughput + latency)
 //!   throttle   §4       — containing hidden aggressiveness
 //!   ablate     extras   — DCA / associativity / lookup-structure / prefetch ablations
 //!   extended   extras   — prediction generality on DPI / NAT / CLASS
@@ -32,7 +33,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|pipeline|throttle|ablate|extended|cat|mixes|batch|all> \
+        "usage: repro <table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|pipeline|pipeline-batch|throttle|ablate|extended|cat|mixes|batch|all> \
          [--quick] [--threads N] [--levels N] [--out DIR]"
     );
     std::process::exit(2);
@@ -109,6 +110,9 @@ fn main() {
         "pipeline" => {
             experiments::pipeline::run(&ctx);
         }
+        "pipeline-batch" => {
+            experiments::pipeline_batch::run(&ctx);
+        }
         "throttle" => {
             experiments::throttle::run(&ctx);
         }
@@ -138,6 +142,7 @@ fn main() {
             experiments::fig9::run_with(&ctx, Some(&f8.predictor));
             experiments::fig10::run(&ctx);
             experiments::pipeline::run(&ctx);
+            experiments::pipeline_batch::run(&ctx);
             experiments::throttle::run(&ctx);
             experiments::ablations::run(&ctx);
             let ext = experiments::extended::run(&ctx);

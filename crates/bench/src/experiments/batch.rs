@@ -46,6 +46,11 @@ pub struct BatchPoint {
     /// churn tag plus all untagged charges (per-packet overhead and
     /// element hops are charged outside any function tag).
     pub framework_hop_cycles_per_packet: f64,
+    /// Median per-packet residence time (receive→completion) over the
+    /// window, microseconds — the latency cost of batching.
+    pub p50_us: f64,
+    /// 99th-percentile residence time, microseconds.
+    pub p99_us: f64,
     /// Window totals (for the scalar anchor comparison).
     pub counts: pp_sim::counters::Counts,
     /// Per-tag window deltas.
@@ -60,11 +65,14 @@ pub fn measure_point(flow: FlowType, batch: usize, params: ExpParams) -> BatchPo
     spec.structure_seed = flow.structure_seed(params.seed);
     spec.batch_size = batch;
     let built = build_flow(&mut machine, MemDomain(0), &spec);
+    let lat = built.task.latency_handle();
     let mut engine = Engine::new(machine);
     engine.set_task(CoreId(0), Box::new(built.task));
     let warmup = params.warmup_cycles(engine.machine.config());
     let window = params.window_cycles(engine.machine.config());
-    let meas = engine.measure(warmup, window);
+    engine.run_until(warmup);
+    lat.borrow_mut().reset(); // window latencies only, like the counters
+    let meas = engine.measure(0, window);
     let cm = meas.core(CoreId(0)).expect("flow core measured");
 
     let total = cm.counts.total;
@@ -72,12 +80,17 @@ pub fn measure_point(flow: FlowType, batch: usize, params: ExpParams) -> BatchPo
     let tagged_cycles: u64 = cm.counts.tags.iter().map(|(_, c)| c.cycles()).sum();
     let framework_tag = cm.counts.tag("framework").map(|c| c.cycles()).unwrap_or(0);
     let untagged = total.cycles().saturating_sub(tagged_cycles);
+    let freq_ghz = engine.machine.config().freq_ghz;
+    let us = |cycles: u64| cycles as f64 / (freq_ghz * 1e3);
+    let lat = lat.borrow();
     BatchPoint {
         flow,
         batch,
         pps: cm.metrics.pps,
         cycles_per_packet: total.cycles() as f64 / packets,
         framework_hop_cycles_per_packet: (untagged + framework_tag) as f64 / packets,
+        p50_us: us(lat.p50()),
+        p99_us: us(lat.p99()),
         counts: total,
         tags: cm.counts.tags.clone(),
     }
@@ -107,13 +120,15 @@ pub fn run(ctx: &RunCtx) {
     };
 
     let mut table = Table::new(
-        "Batch-size sweep: throughput and per-packet framework+hop cycles",
+        "Batch-size sweep: throughput, per-packet framework+hop cycles, latency",
         &[
             "workload",
             "batch",
             "pps",
             "cycles/pkt",
             "fw+hop cyc/pkt",
+            "p50 us",
+            "p99 us",
             "speedup vs b=1",
         ],
     );
@@ -148,6 +163,8 @@ pub fn run(ctx: &RunCtx) {
                 millions(p.pps),
                 fmt_f(p.cycles_per_packet, 1),
                 fmt_f(p.framework_hop_cycles_per_packet, 1),
+                fmt_f(p.p50_us, 2),
+                fmt_f(p.p99_us, 2),
                 fmt_f(b1.cycles_per_packet / p.cycles_per_packet, 2),
             ]);
         }

@@ -16,5 +16,6 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod pipeline;
+pub mod pipeline_batch;
 pub mod table1;
 pub mod throttle;

@@ -11,7 +11,7 @@ use crate::RunCtx;
 use pp_core::prelude::*;
 use pp_click::cost::CostModel;
 use pp_click::pipelines::{
-    build_pipeline, two_phase_parallel, two_phase_pipeline, TwoPhaseParams,
+    build_pipeline, two_phase_parallel, two_phase_pipeline, PipelineSpec, TwoPhaseParams,
 };
 use pp_sim::config::MachineConfig;
 use pp_sim::engine::Engine;
@@ -68,8 +68,13 @@ fn measure_parallel_pair(ctx: &RunCtx, flow: FlowType) -> (f64, f64) {
 fn measure_pipeline_pair(ctx: &RunCtx, flow: FlowType) -> (f64, f64) {
     let mut machine = Machine::new(MachineConfig::westmere());
     let spec = flow.spec(scale_of(ctx), 0xBEEF);
-    let (src, sink, _q) =
-        build_pipeline(&mut machine, MemDomain(0), MemDomain(0), &spec, 128);
+    let (src, sink, _q) = build_pipeline(
+        &mut machine,
+        MemDomain(0),
+        MemDomain(0),
+        &spec,
+        &PipelineSpec::new(MemDomain(0)),
+    );
     let mut engine = Engine::new(machine);
     engine.set_task(CoreId(0), Box::new(src));
     engine.set_task(CoreId(1), Box::new(sink));
@@ -108,8 +113,14 @@ pub fn crafted(ctx: &RunCtx) -> (f64, f64) {
     // Pipeline: phase 1 on socket 0, phase 2 on socket 1 — each phase's
     // structure fits its own L3.
     let mut machine = Machine::new(MachineConfig::westmere());
-    let (src, sink, _q) =
-        two_phase_pipeline(&mut machine, MemDomain(0), MemDomain(1), &p, cost);
+    let (src, sink, _q) = two_phase_pipeline(
+        &mut machine,
+        MemDomain(0),
+        MemDomain(1),
+        &p,
+        cost,
+        &PipelineSpec::new(MemDomain(0)),
+    );
     let mut engine = Engine::new(machine);
     engine.set_task(CoreId(0), Box::new(src));
     engine.set_task(CoreId(6), Box::new(sink));

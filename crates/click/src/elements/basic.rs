@@ -232,20 +232,25 @@ impl Element for ToDevice {
         pkts: &mut [Packet],
         actions: &mut Vec<Action>,
     ) {
-        // Cross-core (shared) transmission has no batched NIC op — the
-        // free-list ping-pong is the point of that configuration.
-        if self.shared || pkts.len() <= 1 {
+        if pkts.len() <= 1 {
             for pkt in pkts.iter_mut() {
                 actions.push(self.process(ctx, pkt));
             }
             return;
         }
         // One amortized descriptor+free-list transaction for the vector,
-        // and one NIC borrow per batch instead of one per packet.
+        // and one NIC borrow per batch instead of one per packet. In
+        // pipeline mode the free list is still cross-core shared data, but
+        // the ping-pong is paid once per burst (`tx_shared_batch`).
         let bufs: Vec<Addr> =
             pkts.iter().filter(|p| p.buf_addr != 0).map(|p| p.buf_addr).collect();
         if !bufs.is_empty() {
-            self.nic.borrow_mut().tx_batch(ctx, &bufs);
+            let mut nic = self.nic.borrow_mut();
+            if self.shared {
+                nic.tx_shared_batch(ctx, &bufs);
+            } else {
+                nic.tx_batch(ctx, &bufs);
+            }
         }
         for pkt in pkts.iter_mut() {
             self.sent += 1;

@@ -18,7 +18,22 @@
 //!
 //! [`SourceStage`] / [`SinkStage`] implement the §2.2 *pipeline*
 //! configuration: the chain is split across cores connected by an
-//! [`SpscQueue`], with all the cross-core costs that entails.
+//! [`SpscQueue`], with all the cross-core costs that entails. Both stages
+//! support burst mode ([`SourceStage::with_batch_size`] /
+//! [`SinkStage::with_batch_size`]): the front stage receives a vector in one
+//! `rx_batch`, runs it through the front graph with `run_batch`, and hands
+//! it off in one [`SpscQueue::push_burst`]; the back stage drains it in one
+//! [`SpscQueue::pop_burst`], runs the back graph once per burst, and
+//! transmits/recycles through one amortized shared NIC transaction. The
+//! head/tail control-line ping-pong is paid once per burst instead of once
+//! per packet — the §2.2 handoff cost under vector processing. Burst size 1
+//! reproduces the scalar pipeline bit for bit.
+//!
+//! Every task records per-packet ingress→egress **latency** (simulated
+//! cycles, stamped at the receive path and read at completion) into a
+//! [`LatencyHistogram`]; grab the shared handle with `latency_handle()`
+//! before boxing the task into the engine. Recording is host-side and
+//! charge-free, so it never perturbs the measured hierarchy.
 
 use crate::cost::CostModel;
 use crate::elements::queue::SpscQueue;
@@ -29,6 +44,7 @@ use pp_net::packet::Packet;
 use pp_sim::arena::DomainAllocator;
 use pp_sim::ctx::ExecCtx;
 use pp_sim::engine::{CoreTask, TurnResult};
+use pp_sim::latency::LatencyHistogram;
 use pp_sim::nic::NicQueue;
 use pp_sim::types::{Addr, CACHE_LINE};
 use std::cell::RefCell;
@@ -87,6 +103,9 @@ pub struct FlowTask {
     lens: Vec<u64>,
     /// Scratch buffer addresses for the batched receive (reused).
     bufs: Vec<Addr>,
+    /// Per-packet ingress→egress simulated cycles (shared handle; see
+    /// [`latency_handle`](Self::latency_handle)).
+    latency: Rc<RefCell<LatencyHistogram>>,
     /// Packets fully processed (forwarded or consciously dropped).
     pub processed: u64,
     /// Packets lost to buffer-pool exhaustion (should stay zero in the
@@ -114,9 +133,16 @@ impl FlowTask {
             batch_size: 0,
             lens: Vec::new(),
             bufs: Vec::new(),
+            latency: Rc::new(RefCell::new(LatencyHistogram::new())),
             processed: 0,
             rx_failures: 0,
         }
+    }
+
+    /// Shared handle to the per-packet latency histogram (clone it before
+    /// boxing the task into the engine; reset it after warmup).
+    pub fn latency_handle(&self) -> Rc<RefCell<LatencyHistogram>> {
+        self.latency.clone()
     }
 
     /// Attach framework churn (see [`FrameworkChurn`]). The standard
@@ -152,6 +178,9 @@ impl FlowTask {
     /// One scalar turn: receive, run the chain, recycle on return.
     #[inline]
     fn run_turn_scalar(&mut self, ctx: &mut ExecCtx<'_>) -> TurnResult {
+        // Ingress = the start of the turn, when the wire delivered the
+        // packet: residence time covers the packet's own processing.
+        let ingress = ctx.now();
         // The wire always has a packet waiting (the paper's generators run
         // at line rate); generation itself is host-side and free.
         let mut pkt = self.gen.next_packet();
@@ -175,6 +204,7 @@ impl FlowTask {
         }
         self.processed += 1;
         ctx.retire_packet();
+        self.latency.borrow_mut().record(ctx.now() - ingress);
         TurnResult::Progress
     }
 
@@ -184,6 +214,9 @@ impl FlowTask {
     /// recycle) instead of twice per packet.
     fn run_turn_batched(&mut self, ctx: &mut ExecCtx<'_>) -> TurnResult {
         let n = self.batch_size;
+        // The whole vector arrived by the start of the turn; see the
+        // scalar path for the ingress convention.
+        let ingress = ctx.now();
         // Per-batch fixed overhead plus the per-packet residue; the split
         // sums to the scalar per-packet overhead, so n = 1 charges exactly
         // the scalar amount (see CostModel).
@@ -214,13 +247,26 @@ impl FlowTask {
         let outcome = self.graph.run_batch(ctx, PacketBatch::from_packets(pkts));
         self.bufs.clear();
         self.bufs.extend(
-            outcome.returned.iter().map(|p| p.buf_addr).filter(|&a| a != 0),
+            outcome
+                .returned
+                .iter()
+                .chain(outcome.dropped.iter())
+                .map(|p| p.buf_addr)
+                .filter(|&a| a != 0),
         );
         if !self.bufs.is_empty() {
             self.nic.borrow_mut().recycle_batch(ctx, &self.bufs);
         }
         self.processed += delivered as u64;
         ctx.retire_packets(delivered as u64);
+        // Every packet of the burst was received together and completes
+        // together: the whole vector shares one residence time — the
+        // latency cost of batching that the histogram makes visible.
+        let turn_latency = ctx.now() - ingress;
+        let mut lat = self.latency.borrow_mut();
+        for _ in 0..delivered {
+            lat.record(turn_latency);
+        }
         TurnResult::Progress
     }
 }
@@ -249,6 +295,13 @@ pub struct SourceStage {
     out: Rc<RefCell<SpscQueue>>,
     cost: CostModel,
     churn: Option<FrameworkChurn>,
+    /// Packets per engine turn: 0 = scalar handoff, n ≥ 1 = burst handoff
+    /// (a partial burst is sent when the queue has fewer free slots).
+    batch_size: usize,
+    /// Scratch frame lengths for the batched receive (reused every turn).
+    lens: Vec<u64>,
+    /// Scratch buffer addresses for the batched receive (reused).
+    bufs: Vec<Addr>,
     /// Packets handed to the next stage.
     pub forwarded: u64,
     /// Turns skipped because the queue was full.
@@ -273,6 +326,9 @@ impl SourceStage {
             out,
             cost,
             churn: None,
+            batch_size: 0,
+            lens: Vec::new(),
+            bufs: Vec::new(),
             forwarded: 0,
             stalls: 0,
         }
@@ -283,14 +339,20 @@ impl SourceStage {
         self.churn = Some(churn);
         self
     }
-}
 
-impl CoreTask for SourceStage {
-    fn run_turn(&mut self, ctx: &mut ExecCtx<'_>) -> TurnResult {
-        if self.out.borrow().is_full() {
-            self.stalls += 1;
-            return TurnResult::Idle;
-        }
+    /// Switch to burst handoff with up to `batch` packets per engine turn
+    /// (`batch` ≥ 1; 1 is charge-identical to the scalar stage).
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        self.batch_size = batch.max(1);
+        self
+    }
+
+    /// One scalar turn: receive, run the front chain, enqueue.
+    fn run_turn_scalar(&mut self, ctx: &mut ExecCtx<'_>) -> TurnResult {
+        // Ingress = the start of the turn. The engine's min-clock scheduler
+        // guarantees this is ≤ every other core's clock, so the sink's
+        // egress reading is always causally after it.
+        let ingress = ctx.now();
         let mut pkt = self.gen.next_packet();
         CostModel::charge(ctx, self.cost.per_packet_overhead);
         if let Some(churn) = &mut self.churn {
@@ -304,6 +366,8 @@ impl CoreTask for SourceStage {
             return TurnResult::Progress;
         };
         pkt.buf_addr = buf;
+        pkt.ingress_cycle = ingress;
+        let drops_before = self.graph.drops;
         let outcome = if self.graph.is_empty() {
             GraphOutcome::Returned(pkt)
         } else {
@@ -312,6 +376,14 @@ impl CoreTask for SourceStage {
         match outcome {
             GraphOutcome::Consumed => {}
             GraphOutcome::Returned(p) => {
+                // A front-chain drop ends the packet here: recycle locally
+                // instead of forwarding it downstream.
+                if self.graph.drops > drops_before {
+                    if p.buf_addr != 0 {
+                        self.nic.borrow_mut().recycle(ctx, p.buf_addr);
+                    }
+                    return TurnResult::Progress;
+                }
                 let mut q = self.out.borrow_mut();
                 if let Err(rejected) = q.push(ctx, p) {
                     // Lost the race against fullness; recycle locally.
@@ -325,6 +397,86 @@ impl CoreTask for SourceStage {
             }
         }
         TurnResult::Progress
+    }
+
+    /// One burst turn: receive up to `batch_size` packets (backpressure:
+    /// never more than the queue's free slots) in one `rx_batch`, run the
+    /// front graph once per burst, hand the vector off in one `push_burst`.
+    fn run_turn_batched(&mut self, ctx: &mut ExecCtx<'_>) -> TurnResult {
+        // Partial-burst backpressure: size the burst to the room downstream
+        // (host-side check, like the scalar stage's is_full probe).
+        let n = self.out.borrow().free_slots().min(self.batch_size);
+        if n == 0 {
+            self.stalls += 1;
+            return TurnResult::Idle;
+        }
+        // Ingress = the start of the turn (see the scalar path).
+        let ingress = ctx.now();
+        // Per-burst fixed overhead plus the per-packet residue (the split
+        // sums to the scalar per-packet overhead, so a 1-packet burst
+        // charges exactly the scalar amount).
+        CostModel::charge(ctx, self.cost.batch_fixed_overhead);
+        CostModel::charge_n(ctx, self.cost.batch_per_packet_overhead, n as u64);
+        if let Some(churn) = &mut self.churn {
+            churn.touch(ctx);
+        }
+        let mut pkts: Vec<Packet> = Vec::with_capacity(n);
+        self.lens.clear();
+        for _ in 0..n {
+            let pkt = self.gen.next_packet();
+            self.lens.push(pkt.len() as u64);
+            pkts.push(pkt);
+        }
+        self.bufs.clear();
+        let delivered = self.nic.borrow_mut().rx_batch(ctx, &self.lens, &mut self.bufs);
+        if delivered == 0 {
+            return TurnResult::Progress; // time advanced by the failed rx
+        }
+        pkts.truncate(delivered); // partial batch: pool-starved tail is lost
+        for (pkt, &buf) in pkts.iter_mut().zip(self.bufs.iter()) {
+            pkt.buf_addr = buf;
+            pkt.ingress_cycle = ingress;
+        }
+        let (mut to_queue, dropped): (Vec<Packet>, Vec<Packet>) = if self.graph.is_empty() {
+            (pkts, Vec::new())
+        } else {
+            let outcome = self.graph.run_batch(ctx, PacketBatch::from_packets(pkts));
+            (outcome.returned, outcome.dropped)
+        };
+        let pushed = self.out.borrow_mut().push_burst(ctx, &mut to_queue);
+        self.forwarded += pushed as u64;
+        if !to_queue.is_empty() {
+            // Queue filled under us (cannot happen with the room check
+            // above, but handled for robustness).
+            self.stalls += 1;
+        }
+        // Recycle locally: front-chain drops plus any burst-rejected tail.
+        self.bufs.clear();
+        self.bufs.extend(
+            dropped
+                .iter()
+                .chain(to_queue.iter())
+                .map(|p| p.buf_addr)
+                .filter(|&a| a != 0),
+        );
+        if !self.bufs.is_empty() {
+            self.nic.borrow_mut().recycle_batch(ctx, &self.bufs);
+        }
+        TurnResult::Progress
+    }
+}
+
+impl CoreTask for SourceStage {
+    fn run_turn(&mut self, ctx: &mut ExecCtx<'_>) -> TurnResult {
+        if self.batch_size >= 1 {
+            self.run_turn_batched(ctx)
+        } else {
+            if self.out.borrow().is_full() {
+                self.stalls += 1;
+                return TurnResult::Idle;
+            }
+            self.run_turn_scalar(ctx)
+        }
     }
 
     fn label(&self) -> &str {
@@ -341,6 +493,19 @@ pub struct SinkStage {
     /// The *source* core's NIC queue: drops recycle into it cross-core.
     nic: Rc<RefCell<NicQueue>>,
     churn: Option<FrameworkChurn>,
+    /// Packets per engine turn: 0 = scalar handoff, n ≥ 1 = burst handoff.
+    batch_size: usize,
+    /// Staging vector for the burst dequeue. Its allocation is handed to
+    /// the graph each turn (as `FlowTask`'s batched receive does); the
+    /// scratch vectors below are the ones reused across turns.
+    scratch: Vec<Packet>,
+    /// Scratch ingress stamps for latency recording (reused every turn).
+    ingress: Vec<u64>,
+    /// Scratch buffer addresses for the batched recycle (reused).
+    bufs: Vec<Addr>,
+    /// Per-packet ingress→egress simulated cycles across the whole
+    /// pipeline (stamped by the source stage at receive).
+    latency: Rc<RefCell<LatencyHistogram>>,
     /// Packets completed at this stage.
     pub processed: u64,
 }
@@ -353,7 +518,19 @@ impl SinkStage {
         graph: ElementGraph,
         nic: Rc<RefCell<NicQueue>>,
     ) -> Self {
-        SinkStage { label: label.into(), input, graph, nic, churn: None, processed: 0 }
+        SinkStage {
+            label: label.into(),
+            input,
+            graph,
+            nic,
+            churn: None,
+            batch_size: 0,
+            scratch: Vec::new(),
+            ingress: Vec::new(),
+            bufs: Vec::new(),
+            latency: Rc::new(RefCell::new(LatencyHistogram::new())),
+            processed: 0,
+        }
     }
 
     /// Attach framework churn to this stage.
@@ -361,12 +538,39 @@ impl SinkStage {
         self.churn = Some(churn);
         self
     }
-}
 
-impl CoreTask for SinkStage {
-    fn run_turn(&mut self, ctx: &mut ExecCtx<'_>) -> TurnResult {
+    /// Switch to burst handoff, draining up to `batch` packets per engine
+    /// turn (`batch` ≥ 1; 1 is charge-identical to the scalar stage).
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        self.batch_size = batch.max(1);
+        self
+    }
+
+    /// Shared handle to the pipeline's ingress→egress latency histogram
+    /// (clone it before boxing the task into the engine; reset it after
+    /// warmup).
+    pub fn latency_handle(&self) -> Rc<RefCell<LatencyHistogram>> {
+        self.latency.clone()
+    }
+
+    /// Record completion latencies for a set of ingress stamps (host-side,
+    /// charge-free).
+    fn record_latencies(&self, now: u64, ingress: &[u64]) {
+        let mut lat = self.latency.borrow_mut();
+        for &t in ingress {
+            if t != 0 && t <= now {
+                lat.record(now - t);
+            }
+        }
+    }
+
+    /// One scalar turn: poll, dequeue one packet, run the back chain.
+    fn run_turn_scalar(&mut self, ctx: &mut ExecCtx<'_>) -> TurnResult {
         let pkt = {
             let mut q = self.input.borrow_mut();
+            if !q.poll(ctx) {
+                return TurnResult::Idle;
+            }
             q.pop(ctx)
         };
         let Some(pkt) = pkt else { return TurnResult::Idle };
@@ -378,6 +582,7 @@ impl CoreTask for SinkStage {
         if pkt.buf_addr != 0 {
             ctx.shared_read_struct(pkt.buf_addr, 64);
         }
+        let ingress = pkt.ingress_cycle;
         match self.graph.run(ctx, pkt) {
             GraphOutcome::Consumed => {}
             GraphOutcome::Returned(p) => {
@@ -389,7 +594,69 @@ impl CoreTask for SinkStage {
         }
         self.processed += 1;
         ctx.retire_packet();
+        self.record_latencies(ctx.now(), &[ingress]);
         TurnResult::Progress
+    }
+
+    /// One burst turn: poll, drain up to `batch_size` packets in one
+    /// `pop_burst`, run the back graph once per burst, recycle the returned
+    /// buffers in one cross-core batch transaction.
+    fn run_turn_batched(&mut self, ctx: &mut ExecCtx<'_>) -> TurnResult {
+        {
+            let mut q = self.input.borrow_mut();
+            if !q.poll(ctx) {
+                return TurnResult::Idle;
+            }
+            self.scratch.clear();
+            q.pop_burst(ctx, self.batch_size, &mut self.scratch);
+        }
+        if self.scratch.is_empty() {
+            return TurnResult::Idle;
+        }
+        if let Some(churn) = &mut self.churn {
+            // Once per burst: I-cache/metadata amortization.
+            churn.touch(ctx);
+        }
+        // Header pulls stay per packet — each header line is distinct
+        // cross-core payload, unlike the amortized control lines.
+        for pkt in &self.scratch {
+            if pkt.buf_addr != 0 {
+                ctx.shared_read_struct(pkt.buf_addr, 64);
+            }
+        }
+        self.ingress.clear();
+        self.ingress.extend(self.scratch.iter().map(|p| p.ingress_cycle));
+        let n = self.scratch.len() as u64;
+        let batch = PacketBatch::from_packets(std::mem::take(&mut self.scratch));
+        let outcome = self.graph.run_batch(ctx, batch);
+        self.bufs.clear();
+        self.bufs.extend(
+            outcome
+                .returned
+                .iter()
+                .chain(outcome.dropped.iter())
+                .map(|p| p.buf_addr)
+                .filter(|&a| a != 0),
+        );
+        if !self.bufs.is_empty() {
+            // Cross-core recycle into the source core's pool, one
+            // free-list ping-pong per burst.
+            self.nic.borrow_mut().recycle_shared_batch(ctx, &self.bufs);
+        }
+        self.processed += n;
+        ctx.retire_packets(n);
+        self.record_latencies(ctx.now(), &self.ingress);
+        TurnResult::Progress
+    }
+}
+
+impl CoreTask for SinkStage {
+    fn run_turn(&mut self, ctx: &mut ExecCtx<'_>) -> TurnResult {
+        if self.batch_size >= 1 {
+            self.run_turn_batched(ctx)
+        } else {
+            self.run_turn_scalar(ctx)
+        }
     }
 
     fn label(&self) -> &str {

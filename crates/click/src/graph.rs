@@ -45,10 +45,15 @@ pub enum GraphOutcome {
 pub struct BatchOutcome {
     /// Packets an element consumed (buffers already handled).
     pub consumed: u64,
-    /// Packets dropped by an element or exited through an unconnected
-    /// port, in the order those events occurred: the caller must recycle
-    /// their buffers (e.g. via `NicQueue::recycle_batch`).
+    /// Packets that exited through an unconnected port, in exit order:
+    /// the caller decides what happens next (transmit onward, hand off to
+    /// the next pipeline stage, or recycle).
     pub returned: Vec<Packet>,
+    /// Packets an element dropped (`Action::Drop`), in drop order: the
+    /// caller must recycle their buffers (e.g. via
+    /// `NicQueue::recycle_batch`) — dropped packets never continue
+    /// downstream.
+    pub dropped: Vec<Packet>,
 }
 
 /// A wired set of elements. See the module docs.
@@ -192,7 +197,7 @@ impl ElementGraph {
                     Action::Consumed => outcome.consumed += 1,
                     Action::Drop => {
                         self.drops += 1;
-                        outcome.returned.push(pkt);
+                        outcome.dropped.push(pkt);
                     }
                     Action::Out(port) => {
                         match self.edges[cur].get(port as usize).copied().flatten() {
@@ -465,7 +470,8 @@ mod tests {
                 &mut ctx,
                 pp_net::batch::PacketBatch::from_packets(vec![packet()]),
             );
-            assert_eq!(out.returned.len(), 1);
+            assert_eq!(out.dropped.len(), 1, "the dropper's packet lands in dropped");
+            assert!(out.returned.is_empty());
         }
         assert_eq!(g_scalar.drops, g_batch.drops);
         assert_eq!(
@@ -489,14 +495,13 @@ mod tests {
         let out = g.run_batch(&mut ctx, batch_of(&[11, 2, 4, 7, 8, 3]));
         assert_eq!(g.exits, 3);
         assert_eq!(g.drops, 3);
-        let ports: Vec<u16> = out
-            .returned
-            .iter()
-            .map(|p| p.flow_key().unwrap().src_port)
-            .collect();
-        // Exits happen at the scatter element (odd ports, arrival order),
-        // then the port-0 sub-batch reaches the dropper (even ports, order).
-        assert_eq!(ports, vec![11, 7, 3, 2, 4, 8]);
+        let ports = |pkts: &[pp_net::packet::Packet]| -> Vec<u16> {
+            pkts.iter().map(|p| p.flow_key().unwrap().src_port).collect()
+        };
+        // Exits happen at the scatter element (odd ports, arrival order);
+        // the port-0 sub-batch reaches the dropper (even ports, order).
+        assert_eq!(ports(&out.returned), vec![11, 7, 3]);
+        assert_eq!(ports(&out.dropped), vec![2, 4, 8]);
     }
 
     #[test]
@@ -529,6 +534,7 @@ mod tests {
         let out = g.run_batch(&mut ctx, pp_net::batch::PacketBatch::with_capacity(4));
         assert_eq!(out.consumed, 0);
         assert!(out.returned.is_empty());
+        assert!(out.dropped.is_empty());
         assert_eq!(m.core(CoreId(0)).clock, 0, "no charges for an empty batch");
     }
 

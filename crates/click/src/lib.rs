@@ -42,6 +42,30 @@
 //! A batch size of 1 reproduces the scalar path **bit for bit** (same
 //! packet, drop, cycle, and per-tag counters), which anchors batch-size
 //! sweeps (`repro batch`) to the paper's scalar numbers.
+//!
+//! ## Burst handoff in the pipeline configuration
+//!
+//! The §2.2 pipeline ([`flow::SourceStage`] → [`elements::queue::SpscQueue`]
+//! → [`flow::SinkStage`]) has the same vector treatment
+//! ([`pipelines::PipelineSpec::with_burst`]), with its own cost split:
+//!
+//! | charge | scalar handoff | burst handoff |
+//! |---|---|---|
+//! | `queue_op` compute | per packet | per burst |
+//! | head/tail control-line ping-pong | per packet | per burst |
+//! | queue descriptor slot lines | one line per packet | one line per 4 packets (16-B slots packed as on a NIC ring) |
+//! | packet header pull (sink side) | per packet | per packet (unchanged) |
+//! | cross-core free-list recycle | per packet | per burst (`tx_shared_batch`) |
+//! | [`flow::FrameworkChurn`] per stage | per packet | per burst |
+//!
+//! All queue charges carry the `handoff` function tag
+//! ([`elements::queue::HANDOFF_TAG`]), so experiments read the cross-core
+//! handoff cost directly; a burst of 1 is charge-identical to the scalar
+//! pipeline. The consumer's idle spin uses [`elements::queue::SpscQueue::poll`]
+//! (one head-line read, no `queue_op`). Both stages stamp/record per-packet
+//! ingress→egress simulated cycles into a
+//! [`LatencyHistogram`](pp_sim::latency::LatencyHistogram), making the
+//! batching-vs-latency trade-off measurable (`repro pipeline-batch`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -69,7 +93,7 @@ pub mod prelude {
     pub use crate::elements::firewall::Firewall;
     pub use crate::elements::nat::{Nat, NatConfig};
     pub use crate::elements::netflow::NetFlow;
-    pub use crate::elements::queue::SpscQueue;
+    pub use crate::elements::queue::{SpscQueue, HANDOFF_TAG, SLOTS_PER_LINE};
     pub use crate::elements::radix::{BinaryRadixTrie, MultibitIpLookup, MultibitTrie, RadixIpLookup};
     pub use crate::elements::re::{ReConfig, RedundancyElim, RollingHash};
     pub use crate::elements::synthetic::{SynParams, Synthetic};
@@ -78,6 +102,6 @@ pub mod prelude {
     pub use crate::graph::{BatchOutcome, ElementGraph, ElementId, GraphOutcome};
     pub use crate::pipelines::{
         build_flow, build_pipeline, two_phase_parallel, two_phase_pipeline, BuiltFlow,
-        ChainKind, FlowSpec, TwoPhaseParams,
+        ChainKind, FlowSpec, PipelineSpec, TwoPhaseParams,
     };
 }

@@ -332,15 +332,53 @@ pub fn build_flow(machine: &mut Machine, domain: MemDomain, spec: &FlowSpec) -> 
     BuiltFlow { task, control }
 }
 
+/// Placement and sizing of a pipeline's cross-core handoff queue — the
+/// knobs the queue-placement NUMA scenarios and burst-size sweeps turn.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineSpec {
+    /// NUMA domain holding the queue's descriptor ring and control lines
+    /// (the paper homes it with the receiving stage; homing it remotely is
+    /// a queue-placement scenario in its own right).
+    pub queue_domain: MemDomain,
+    /// Ring capacity in descriptor slots.
+    pub queue_capacity: usize,
+    /// Packets per cross-core handoff: 0 = scalar (one queue transaction
+    /// per packet), n ≥ 1 = burst mode through both stages
+    /// ([`SourceStage::with_batch_size`] / [`SinkStage::with_batch_size`];
+    /// 1 reproduces the scalar pipeline bit for bit).
+    pub burst: usize,
+}
+
+impl PipelineSpec {
+    /// Scalar pipeline with the queue homed in `queue_domain` and the
+    /// default 128-slot ring.
+    pub fn new(queue_domain: MemDomain) -> Self {
+        PipelineSpec { queue_domain, queue_capacity: 128, burst: 0 }
+    }
+
+    /// Override the ring capacity.
+    pub fn with_capacity(mut self, slots: usize) -> Self {
+        self.queue_capacity = slots;
+        self
+    }
+
+    /// Switch both stages to burst handoff (`burst` ≥ 1).
+    pub fn with_burst(mut self, burst: usize) -> Self {
+        self.burst = burst;
+        self
+    }
+}
+
 /// Build the same workload as a two-stage pipeline: stage 1 receives and
 /// validates, stage 2 does the heavy processing and transmits. Returns
 /// `(front, back, queue)`; bind `front` and `back` to different cores.
+/// Queue placement, capacity, and handoff burst come from `pipe`.
 pub fn build_pipeline(
     machine: &mut Machine,
     front_domain: MemDomain,
     back_domain: MemDomain,
     spec: &FlowSpec,
-    queue_capacity: usize,
+    pipe: &PipelineSpec,
 ) -> (SourceStage, SinkStage, Rc<RefCell<SpscQueue>>) {
     let cost = spec.cost;
     let nic = Rc::new(RefCell::new(NicQueue::new(
@@ -350,8 +388,8 @@ pub fn build_pipeline(
         NIC_BUF_BYTES,
     )));
     let queue = Rc::new(RefCell::new(SpscQueue::new(
-        machine.allocator(front_domain),
-        queue_capacity,
+        machine.allocator(pipe.queue_domain),
+        pipe.queue_capacity,
         cost,
     )));
 
@@ -360,7 +398,7 @@ pub fn build_pipeline(
     if !matches!(spec.kind, ChainKind::Syn(_)) {
         front.add(Box::new(CheckIpHeader::new(cost)));
     }
-    let src = SourceStage::new(
+    let mut src = SourceStage::new(
         format!("{}-front", spec.kind.name()),
         TrafficGen::new(spec.traffic()),
         nic.clone(),
@@ -381,13 +419,17 @@ pub fn build_pipeline(
         back_graph.set_entry(1);
     }
     let churn = FrameworkChurn::new(machine.allocator(back_domain), &cost);
-    let sink = SinkStage::new(
+    let mut sink = SinkStage::new(
         format!("{}-back", spec.kind.name()),
         queue.clone(),
         back_graph,
         nic,
     )
     .with_churn(churn);
+    if pipe.burst >= 1 {
+        src = src.with_batch_size(pipe.burst);
+        sink = sink.with_batch_size(pipe.burst);
+    }
     (src, sink, queue)
 }
 
@@ -462,6 +504,7 @@ pub fn two_phase_pipeline(
     back_domain: MemDomain,
     p: &TwoPhaseParams,
     cost: CostModel,
+    pipe: &PipelineSpec,
 ) -> (SourceStage, SinkStage, Rc<RefCell<SpscQueue>>) {
     let nic = Rc::new(RefCell::new(NicQueue::new(
         machine.allocator(front_domain),
@@ -470,8 +513,8 @@ pub fn two_phase_pipeline(
         NIC_BUF_BYTES,
     )));
     let queue = Rc::new(RefCell::new(SpscQueue::new(
-        machine.allocator(front_domain),
-        128,
+        machine.allocator(pipe.queue_domain),
+        pipe.queue_capacity,
         cost,
     )));
     let mk = |seed| SynParams {
@@ -486,7 +529,7 @@ pub fn two_phase_pipeline(
         let alloc = machine.allocator(front_domain);
         front.add(Box::new(Synthetic::new(alloc, mk(p.seed), cost)));
     }
-    let src = SourceStage::new(
+    let mut src = SourceStage::new(
         "2phase-front",
         TrafficGen::new(TrafficSpec::random_dst(64, p.seed)),
         nic.clone(),
@@ -501,7 +544,11 @@ pub fn two_phase_pipeline(
     };
     let t = back.add(Box::new(ToDevice::new(nic.clone(), true)));
     back.chain(&[b, t]);
-    let sink = SinkStage::new("2phase-back", queue.clone(), back, nic);
+    let mut sink = SinkStage::new("2phase-back", queue.clone(), back, nic);
+    if pipe.burst >= 1 {
+        src = src.with_batch_size(pipe.burst);
+        sink = sink.with_batch_size(pipe.burst);
+    }
     (src, sink, queue)
 }
 
@@ -581,7 +628,8 @@ mod tests {
     fn pipeline_variant_runs() {
         let mut m = Machine::new(MachineConfig::westmere());
         let spec = FlowSpec::small(ChainKind::Mon, 21);
-        let (src, sink, q) = build_pipeline(&mut m, MemDomain(0), MemDomain(0), &spec, 64);
+        let pipe = PipelineSpec::new(MemDomain(0)).with_capacity(64);
+        let (src, sink, q) = build_pipeline(&mut m, MemDomain(0), MemDomain(0), &spec, &pipe);
         let mut e = Engine::new(m);
         e.set_task(CoreId(0), Box::new(src));
         e.set_task(CoreId(1), Box::new(sink));
@@ -589,6 +637,43 @@ mod tests {
         let pps = meas.core(CoreId(1)).unwrap().metrics.pps;
         assert!(pps > 10_000.0, "pipeline MON pps = {pps}");
         assert!(q.borrow().dequeued > 0);
+    }
+
+    #[test]
+    fn burst_pipeline_runs_and_beats_scalar() {
+        let pps_at = |burst: usize| {
+            let mut m = Machine::new(MachineConfig::westmere());
+            let spec = FlowSpec::small(ChainKind::Mon, 21);
+            let pipe = PipelineSpec::new(MemDomain(0)).with_burst(burst);
+            let (src, sink, q) =
+                build_pipeline(&mut m, MemDomain(0), MemDomain(0), &spec, &pipe);
+            let lat = sink.latency_handle();
+            let mut e = Engine::new(m);
+            e.set_task(CoreId(0), Box::new(src));
+            e.set_task(CoreId(1), Box::new(sink));
+            let meas = e.measure(1_000_000, 5_600_000);
+            assert!(q.borrow().dequeued > 0);
+            assert!(lat.borrow().count() > 0, "sink must record latencies");
+            meas.core(CoreId(1)).unwrap().metrics.pps
+        };
+        let scalar = pps_at(0);
+        let burst = pps_at(32);
+        assert!(
+            burst > scalar * 1.02,
+            "burst-32 handoff should lift MON pipeline throughput: {scalar:.0} -> {burst:.0}"
+        );
+    }
+
+    #[test]
+    fn pipeline_queue_lands_in_requested_domain() {
+        let mut m = Machine::new(MachineConfig::westmere());
+        let spec = FlowSpec::small(ChainKind::Ip, 5);
+        let before = m.allocator(MemDomain(1)).used();
+        let pipe = PipelineSpec::new(MemDomain(1)).with_capacity(256);
+        let _ = build_pipeline(&mut m, MemDomain(0), MemDomain(0), &spec, &pipe);
+        let grew = m.allocator(MemDomain(1)).used() - before;
+        // 256 slots * 16 B packed + head and tail lines.
+        assert_eq!(grew, 256 * 16 + 2 * 64, "only the queue lives in domain 1");
     }
 
     #[test]

@@ -72,7 +72,8 @@ pub mod prelude {
         FlowPlacement, FlowResult, Scenario, ScenarioResult,
     };
     pub use crate::model::{
-        eq1_drop, worst_case_drop, BatchAmortization, CacheModel, PAPER_DELTA_SECS,
+        eq1_drop, worst_case_drop, BatchAmortization, CacheModel, CrossCoreHandoff,
+        PAPER_DELTA_SECS,
     };
     pub use crate::persist::{PersistError, ProfileStore, StoredProfile};
     pub use crate::placement::{

@@ -119,6 +119,72 @@ impl BatchAmortization {
         }
         self.cycles_per_packet(1.0) / self.per_packet_cycles
     }
+
+    /// The pipeline extension of the model: framework amortization plus the
+    /// cross-core handoff term, i.e. predicted cycles/packet for a
+    /// two-stage pipeline running burst-mode handoff at burst size `b`.
+    pub fn pipeline_cycles_per_packet(&self, handoff: &CrossCoreHandoff, burst: f64) -> f64 {
+        self.cycles_per_packet(burst) + handoff.cycles_per_packet(burst)
+    }
+}
+
+/// Cross-core handoff term for the pipeline's burst-mode SPSC ring.
+///
+/// The §2.2 handoff has two kinds of shared-line traffic: **control-line
+/// transactions** (the producer's tail read + head publish, the consumer's
+/// head read + tail publish, plus the `queue_op` arithmetic around them),
+/// which burst mode pays once per burst; and **descriptor slot lines**,
+/// packed `slots_per_line` descriptors per cache line, of which a burst of
+/// `b` touches `ceil(b / slots_per_line)` on each side. Per-packet handoff
+/// cost is therefore
+///
+/// `handoff/packet(b) = C / b + S * ceil(b / L) / b`
+///
+/// which equals `C + S` at `b = 1` (the scalar pipeline) and falls to
+/// `S / L` as the burst grows — strictly decreasing over power-of-two burst
+/// sizes, the shape `repro pipeline-batch` asserts.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossCoreHandoff {
+    /// Control-line cycles per burst (`C`): queue_op compute plus the
+    /// head/tail ping-pong, both sides combined.
+    pub control_cycles_per_burst: f64,
+    /// Cycles per descriptor slot-line transfer (`S`), both sides combined.
+    pub slot_line_cycles: f64,
+    /// Descriptor slots per cache line (`L`; 4 with 16-byte slots).
+    pub slots_per_line: f64,
+}
+
+impl CrossCoreHandoff {
+    /// Relative slot-line touches per packet at a given burst size.
+    fn slot_lines_per_packet(slots_per_line: f64, burst: f64) -> f64 {
+        (burst / slots_per_line).ceil() / burst
+    }
+
+    /// Predicted handoff cycles/packet at burst size `b` (≥ 1).
+    pub fn cycles_per_packet(&self, burst: f64) -> f64 {
+        assert!(burst >= 1.0, "burst size must be at least 1");
+        self.control_cycles_per_burst / burst
+            + self.slot_line_cycles * Self::slot_lines_per_packet(self.slots_per_line, burst)
+    }
+
+    /// Fit `C` and `S` from measured handoff cycles/packet at two distinct
+    /// burst sizes (`(burst, cycles_per_packet)` pairs).
+    pub fn fit(slots_per_line: f64, p1: (f64, f64), p2: (f64, f64)) -> Self {
+        let (b1, h1) = p1;
+        let (b2, h2) = p2;
+        assert!(b1 >= 1.0 && b2 >= 1.0 && b1 != b2, "need two distinct burst sizes");
+        // h = C * a + S * d with a = 1/b, d = ceil(b/L)/b: a 2x2 solve.
+        let (a1, a2) = (1.0 / b1, 1.0 / b2);
+        let d1 = Self::slot_lines_per_packet(slots_per_line, b1);
+        let d2 = Self::slot_lines_per_packet(slots_per_line, b2);
+        let det = a1 * d2 - a2 * d1;
+        assert!(det.abs() > 1e-12, "degenerate fit points");
+        CrossCoreHandoff {
+            control_cycles_per_burst: ((h1 * d2 - h2 * d1) / det).max(0.0),
+            slot_line_cycles: ((a1 * h2 - a2 * h1) / det).max(0.0),
+            slots_per_line,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +285,64 @@ mod tests {
         assert!((fit.per_packet_cycles - 450.0).abs() < 1e-9);
         // The model interpolates exactly at unseen batch sizes.
         assert!((fit.cycles_per_packet(8.0) - truth.cycles_per_packet(8.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handoff_term_is_monotone_over_swept_burst_sizes() {
+        let h = CrossCoreHandoff {
+            control_cycles_per_burst: 400.0,
+            slot_line_cycles: 120.0,
+            slots_per_line: 4.0,
+        };
+        assert!((h.cycles_per_packet(1.0) - 520.0).abs() < 1e-9, "b=1 pays C + S");
+        let mut last = f64::INFINITY;
+        for b in [1.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
+            let c = h.cycles_per_packet(b);
+            assert!(c < last, "handoff cycles/packet must fall at burst {b}");
+            last = c;
+        }
+        // Asymptote: one slot line per slots_per_line packets.
+        let floor = 120.0 / 4.0;
+        assert!((h.cycles_per_packet(1e6) - floor) < 0.01);
+    }
+
+    #[test]
+    fn handoff_fit_recovers_parameters() {
+        let truth = CrossCoreHandoff {
+            control_cycles_per_burst: 350.0,
+            slot_line_cycles: 90.0,
+            slots_per_line: 4.0,
+        };
+        let fit = CrossCoreHandoff::fit(
+            4.0,
+            (1.0, truth.cycles_per_packet(1.0)),
+            (64.0, truth.cycles_per_packet(64.0)),
+        );
+        assert!((fit.control_cycles_per_burst - 350.0).abs() < 1e-6);
+        assert!((fit.slot_line_cycles - 90.0).abs() < 1e-6);
+        // Exact interpolation at power-of-two interior sizes.
+        for b in [4.0, 8.0, 16.0, 32.0] {
+            assert!((fit.cycles_per_packet(b) - truth.cycles_per_packet(b)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pipeline_model_combines_framework_and_handoff_terms() {
+        let fw = BatchAmortization { per_batch_cycles: 620.0, per_packet_cycles: 300.0 };
+        let h = CrossCoreHandoff {
+            control_cycles_per_burst: 400.0,
+            slot_line_cycles: 120.0,
+            slots_per_line: 4.0,
+        };
+        let combined1 = fw.pipeline_cycles_per_packet(&h, 1.0);
+        assert!((combined1 - (920.0 + 520.0)).abs() < 1e-9);
+        let mut last = f64::INFINITY;
+        for b in [1.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
+            let c = fw.pipeline_cycles_per_packet(&h, b);
+            assert!(c < last, "combined pipeline cost must fall at burst {b}");
+            assert!(c > fw.per_packet_cycles, "never below the irreducible floor");
+            last = c;
+        }
     }
 
     #[test]

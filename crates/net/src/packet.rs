@@ -19,12 +19,16 @@ pub struct Packet {
     /// Simulated address of the NIC buffer holding this packet
     /// (0 until assigned by the receive path).
     pub buf_addr: u64,
+    /// Simulated cycle at which the receive path delivered this packet
+    /// (0 until stamped). Latency accounting reads egress − ingress; the
+    /// stamp is host-side metadata and charges nothing to the hierarchy.
+    pub ingress_cycle: u64,
 }
 
 impl Packet {
     /// Wrap raw frame bytes.
     pub fn from_bytes(data: BytesMut) -> Self {
-        Packet { data, buf_addr: 0 }
+        Packet { data, buf_addr: 0, ingress_cycle: 0 }
     }
 
     /// Frame length in bytes.

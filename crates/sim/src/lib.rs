@@ -57,6 +57,7 @@ pub mod counters;
 pub mod ctx;
 pub mod engine;
 pub mod interconnect;
+pub mod latency;
 pub mod machine;
 pub mod memctrl;
 pub mod nic;
@@ -72,6 +73,7 @@ pub mod prelude {
     pub use crate::ctx::ExecCtx;
     pub use crate::engine::{CoreMeasurement, CoreTask, Engine, Measurement, TurnResult};
     pub use crate::interconnect::Interconnect;
+    pub use crate::latency::LatencyHistogram;
     pub use crate::machine::{CoreState, Machine};
     pub use crate::memctrl::{MemCtrl, MemCtrlStats};
     pub use crate::nic::NicQueue;

@@ -1,0 +1,138 @@
+//! Cross-crate integration tests for burst-mode cross-core handoff in the
+//! §2.2 pipeline: burst=1 equivalence with the scalar pipeline, handoff
+//! amortization, and end-to-end latency accounting.
+
+use predictable_pp::prelude::*;
+use predictable_pp::sim::config::MachineConfig;
+use predictable_pp::sim::engine::Engine;
+use predictable_pp::sim::machine::Machine;
+use predictable_pp::sim::types::{CoreId, MemDomain};
+
+/// Run one two-stage pipeline for a fixed span of simulated time and
+/// return everything a bit-for-bit comparison needs, plus the handoff tag
+/// and the sink's latency histogram.
+#[allow(clippy::type_complexity)]
+fn run_pipeline(
+    kind: ChainKind,
+    burst: usize,
+    t_end: u64,
+) -> (
+    Vec<(predictable_pp::sim::counters::CounterSnapshot, u64)>, // per core: (counters, clock)
+    u64,                                                        // sink packets
+    f64,                                                        // handoff cycles/packet
+    (u64, u64, u64),                                            // latency p50/p95/p99 cycles
+) {
+    let mut m = Machine::new(MachineConfig::westmere());
+    let spec = FlowSpec::small(kind, 23);
+    let pipe = PipelineSpec::new(MemDomain(0)).with_burst(burst);
+    let (src, sink, _q) = build_pipeline(&mut m, MemDomain(0), MemDomain(0), &spec, &pipe);
+    let lat = sink.latency_handle();
+    let mut e = Engine::new(m);
+    e.set_task(CoreId(0), Box::new(src));
+    e.set_task(CoreId(1), Box::new(sink));
+    e.run_until(t_end);
+    let cores: Vec<_> = [CoreId(0), CoreId(1)]
+        .iter()
+        .map(|&c| (e.machine.core(c).counters.snapshot(), e.machine.core(c).clock))
+        .collect();
+    let packets = cores[1].0.total.packets;
+    let handoff: u64 = cores
+        .iter()
+        .map(|(snap, _)| snap.tag(HANDOFF_TAG).map(|c| c.cycles()).unwrap_or(0))
+        .sum();
+    let l = lat.borrow();
+    (
+        cores,
+        packets,
+        handoff as f64 / packets.max(1) as f64,
+        (l.p50(), l.p95(), l.p99()),
+    )
+}
+
+#[test]
+fn burst_one_is_bit_for_bit_the_scalar_pipeline() {
+    for kind in [ChainKind::Ip, ChainKind::Mon, ChainKind::Fw] {
+        let (s_cores, s_pkts, _, _) = run_pipeline(kind, 0, 4_000_000);
+        let (b_cores, b_pkts, _, _) = run_pipeline(kind, 1, 4_000_000);
+        assert_eq!(s_pkts, b_pkts, "{}: packet counts", kind.name());
+        for (i, ((s_snap, s_clock), (b_snap, b_clock))) in
+            s_cores.iter().zip(b_cores.iter()).enumerate()
+        {
+            assert_eq!(
+                s_snap.total, b_snap.total,
+                "{}: core {i} totals must match bit for bit",
+                kind.name()
+            );
+            assert_eq!(s_clock, b_clock, "{}: core {i} clocks", kind.name());
+            assert_eq!(s_snap.tags.len(), b_snap.tags.len(), "{}: core {i} tag set", kind.name());
+            for (tag, counts) in &s_snap.tags {
+                assert_eq!(
+                    Some(counts),
+                    b_snap.tag(tag),
+                    "{}: core {i} tag {tag}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn handoff_cycles_per_packet_fall_with_burst_size() {
+    let (_, _, h1, _) = run_pipeline(ChainKind::Ip, 1, 4_000_000);
+    let (_, _, h8, _) = run_pipeline(ChainKind::Ip, 8, 4_000_000);
+    let (_, _, h64, _) = run_pipeline(ChainKind::Ip, 64, 4_000_000);
+    assert!(
+        h1 > h8 && h8 > h64,
+        "handoff cycles/packet must fall: {h1:.1} -> {h8:.1} -> {h64:.1}"
+    );
+}
+
+#[test]
+fn burst_handoff_lifts_pipeline_throughput() {
+    let (_, scalar_pkts, _, _) = run_pipeline(ChainKind::Ip, 0, 4_000_000);
+    let (_, burst_pkts, _, _) = run_pipeline(ChainKind::Ip, 32, 4_000_000);
+    assert!(
+        burst_pkts as f64 > scalar_pkts as f64 * 1.05,
+        "burst-32 handoff should move >5% more packets: {scalar_pkts} -> {burst_pkts}"
+    );
+}
+
+#[test]
+fn pipeline_latency_is_recorded_and_ordered() {
+    for burst in [0usize, 16] {
+        let (_, pkts, _, (p50, p95, p99)) = run_pipeline(ChainKind::Mon, burst, 4_000_000);
+        assert!(pkts > 0);
+        assert!(p50 > 0, "burst {burst}: median latency must be recorded");
+        assert!(p50 <= p95 && p95 <= p99, "burst {burst}: percentiles ordered");
+    }
+}
+
+#[test]
+fn flow_task_records_latency_and_batching_trades_it_for_throughput() {
+    // Run-to-completion path: the same histogram machinery, where larger
+    // batches must raise per-packet residence time (each packet waits for
+    // its whole vector) while raising throughput.
+    let run = |batch: usize| {
+        let mut m = Machine::new(MachineConfig::westmere());
+        let mut spec = FlowSpec::small(ChainKind::Ip, 9);
+        spec.batch_size = batch;
+        let built = build_flow(&mut m, MemDomain(0), &spec);
+        let lat = built.task.latency_handle();
+        let mut e = Engine::new(m);
+        e.set_task(CoreId(0), Box::new(built.task));
+        e.run_until(4_000_000);
+        let packets = e.machine.core(CoreId(0)).counters.total().packets;
+        let p50 = lat.borrow().p50();
+        (packets, p50)
+    };
+    let (scalar_pkts, scalar_p50) = run(0);
+    let (batch_pkts, batch_p50) = run(32);
+    assert!(scalar_p50 > 0 && batch_p50 > 0);
+    assert!(batch_pkts > scalar_pkts, "batching must raise throughput");
+    assert!(
+        batch_p50 > scalar_p50 * 4,
+        "a 32-packet vector must raise median residence time well beyond scalar: \
+         {scalar_p50} -> {batch_p50} cycles"
+    );
+}
