@@ -21,11 +21,15 @@
 //!   cat        extras   — L3 way-partitioning (isolation vs prediction)
 //!   mixes      extras   — error distribution over random 6-flow mixes
 //!   batch      extras   — vectorized-execution batch-size sweep
-//!   all        everything above, in order
+//!   perf       extras   — simulator self-benchmark (wall-clock, BENCH_sim.json)
+//!   all        everything above, in order (except perf: wall-dependent)
 //! ```
 //!
 //! `--quick` runs test-scale structures with short windows (for smoke
-//! runs); default is paper scale. Results land in `results/*.csv`.
+//! runs); default is paper scale. `--packets N` sizes the measurement
+//! window so a scalar flow covers roughly N packets — one knob for
+//! simulation size shared by every sweep (it overrides the base window
+//! regardless of flag order). Results land in `results/*.csv`.
 
 use pp_bench::experiments;
 use pp_bench::RunCtx;
@@ -33,8 +37,8 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|pipeline|pipeline-batch|throttle|ablate|extended|cat|mixes|batch|all> \
-         [--quick] [--threads N] [--levels N] [--out DIR]"
+        "usage: repro <table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|pipeline|pipeline-batch|throttle|ablate|extended|cat|mixes|batch|perf|all> \
+         [--quick] [--packets N] [--threads N] [--levels N] [--out DIR]"
     );
     std::process::exit(2);
 }
@@ -45,26 +49,36 @@ fn main() {
         usage();
     }
     let cmd = args[0].clone();
-    let mut ctx = RunCtx::paper();
+    // Parse everything first, then apply in a fixed precedence (--quick
+    // selects the base context, --packets then resizes its window), so
+    // flag order on the command line never silently discards a flag.
+    let mut quick = false;
+    let mut packets: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+    let mut levels: Option<u8> = None;
+    let mut out_dir: Option<std::path::PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => {
-                let out = ctx.out_dir.clone();
-                ctx = RunCtx::quick();
-                ctx.out_dir = out;
-            }
+            "--quick" => quick = true,
             "--threads" => {
                 i += 1;
-                ctx.threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                threads =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--packets" => {
+                i += 1;
+                packets =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
             }
             "--levels" => {
                 i += 1;
-                ctx.levels = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                levels =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
             }
             "--out" => {
                 i += 1;
-                ctx.out_dir = args.get(i).map(Into::into).unwrap_or_else(|| usage());
+                out_dir = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
             }
             other => {
                 eprintln!("unknown flag {other}");
@@ -72,6 +86,19 @@ fn main() {
             }
         }
         i += 1;
+    }
+    let mut ctx = if quick { RunCtx::quick() } else { RunCtx::paper() };
+    if let Some(n) = packets {
+        ctx.params = ctx.params.with_packets(n);
+    }
+    if let Some(t) = threads {
+        ctx.threads = t;
+    }
+    if let Some(l) = levels {
+        ctx.levels = l;
+    }
+    if let Some(o) = out_dir {
+        ctx.out_dir = o;
     }
 
     println!(
@@ -130,6 +157,9 @@ fn main() {
         }
         "batch" => {
             experiments::batch::run(&ctx);
+        }
+        "perf" => {
+            experiments::perf::run(&ctx);
         }
         "all" => {
             experiments::table1::run(&ctx);

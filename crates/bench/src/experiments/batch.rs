@@ -200,9 +200,71 @@ pub fn run(ctx: &RunCtx) {
     ctx.emit("batch_model", &fit_table);
 }
 
+/// FNV-1a over a `Counts` bundle (helper for the output-digest pin below).
+#[doc(hidden)]
+pub fn digest_counts(h: &mut u64, c: &pp_sim::counters::Counts) {
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for v in [
+        c.instructions,
+        c.compute_cycles,
+        c.stall_cycles,
+        c.l1_refs,
+        c.l1_hits,
+        c.l2_refs,
+        c.l2_hits,
+        c.l3_refs,
+        c.l3_hits,
+        c.l3_misses,
+        c.remote_accesses,
+        c.packets,
+    ] {
+        mix(v);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Pinned output digests for `repro batch` measurement points, captured
+    /// on the PRE-PR-3 implementation (AoS cache, no fast path, linear tag
+    /// search, default codegen). The hot-path overhaul promises bit-for-bit
+    /// identical simulation results; this is the end-to-end receipt — if a
+    /// "fast path" ever changes a counter anywhere in the pipeline, these
+    /// digests move.
+    #[test]
+    fn fast_path_leaves_batch_output_digests_unchanged() {
+        let expected: [(FlowType, usize, u64); 6] = [
+            (FlowType::Ip, 0, 0xf4de_a8f3_7a4c_8a14),
+            (FlowType::Ip, 1, 0xf4de_a8f3_7a4c_8a14),
+            (FlowType::Ip, 8, 0xd188_364e_af20_fc15),
+            (FlowType::Mon, 0, 0xb82c_02a3_fac2_9981),
+            (FlowType::Mon, 1, 0xb82c_02a3_fac2_9981),
+            (FlowType::Mon, 8, 0x45f9_2bbf_4b8c_f221),
+        ];
+        for (flow, batch, want) in expected {
+            let p = measure_point(flow, batch, ExpParams::quick());
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            digest_counts(&mut h, &p.counts);
+            for (name, c) in &p.tags {
+                for b in name.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                digest_counts(&mut h, c);
+            }
+            assert_eq!(
+                h, want,
+                "{flow} batch={batch}: simulation output digest changed — \
+                 the hot path is no longer bit-for-bit equivalent"
+            );
+        }
+    }
 
     #[test]
     fn quick_sweep_is_anchored_and_monotone() {

@@ -32,6 +32,7 @@
 use crate::cost::CostModel;
 use pp_net::packet::Packet;
 use pp_sim::arena::DomainAllocator;
+use pp_sim::counters::TagId;
 use pp_sim::ctx::ExecCtx;
 use pp_sim::types::{Addr, CACHE_LINE};
 use std::collections::VecDeque;
@@ -66,6 +67,8 @@ pub struct SpscQueue {
     /// Enqueue attempts rejected because the queue was full (a cut-short
     /// burst counts once, like a cut-short NIC `rx_batch`).
     pub full_rejects: u64,
+    /// [`HANDOFF_TAG`] interned once at construction (`TagId` protocol).
+    t_handoff: TagId,
 }
 
 impl SpscQueue {
@@ -88,6 +91,7 @@ impl SpscQueue {
             enqueued: 0,
             dequeued: 0,
             full_rejects: 0,
+            t_handoff: TagId::intern(HANDOFF_TAG),
         }
     }
 
@@ -125,7 +129,7 @@ impl SpscQueue {
 
     /// Producer side: enqueue a packet, or return it if the queue is full.
     pub fn push(&mut self, ctx: &mut ExecCtx<'_>, pkt: Packet) -> Result<(), Packet> {
-        ctx.scoped(HANDOFF_TAG, |ctx| {
+        ctx.scoped_id(self.t_handoff, |ctx| {
             CostModel::charge(ctx, self.cost.queue_op);
             // Check for space: read the consumer-written tail pointer.
             ctx.shared_read(self.tail_addr);
@@ -167,7 +171,7 @@ impl SpscQueue {
                 }
             };
         }
-        ctx.scoped(HANDOFF_TAG, |ctx| {
+        ctx.scoped_id(self.t_handoff, |ctx| {
             CostModel::charge(ctx, self.cost.queue_op);
             ctx.shared_read(self.tail_addr);
             let n = self.free_slots().min(pkts.len());
@@ -199,7 +203,7 @@ impl SpscQueue {
     /// [`pop_burst`](Self::pop_burst) so an idle spin costs a single line
     /// transaction instead of a full dequeue attempt.
     pub fn poll(&mut self, ctx: &mut ExecCtx<'_>) -> bool {
-        ctx.scoped(HANDOFF_TAG, |ctx| {
+        ctx.scoped_id(self.t_handoff, |ctx| {
             ctx.shared_read(self.head_addr);
         });
         !self.q.is_empty()
@@ -207,7 +211,7 @@ impl SpscQueue {
 
     /// Consumer side: dequeue a packet if one is available.
     pub fn pop(&mut self, ctx: &mut ExecCtx<'_>) -> Option<Packet> {
-        ctx.scoped(HANDOFF_TAG, |ctx| {
+        ctx.scoped_id(self.t_handoff, |ctx| {
             CostModel::charge(ctx, self.cost.queue_op);
             // Check for data: read the producer-written head pointer.
             ctx.shared_read(self.head_addr);
@@ -246,7 +250,7 @@ impl SpscQueue {
                 None => 0,
             };
         }
-        ctx.scoped(HANDOFF_TAG, |ctx| {
+        ctx.scoped_id(self.t_handoff, |ctx| {
             CostModel::charge(ctx, self.cost.queue_op);
             ctx.shared_read(self.head_addr);
             let n = self.q.len().min(max);
@@ -365,7 +369,7 @@ mod tests {
             q.push(&mut ctx, packet()).unwrap();
         }
         let total = m.core(CoreId(0)).counters.total();
-        let tagged = *m.core(CoreId(0)).counters.tag(HANDOFF_TAG).unwrap();
+        let tagged = m.core(CoreId(0)).counters.tag(HANDOFF_TAG).unwrap();
         assert_eq!(total.l1_refs, tagged.l1_refs, "every queue access is tagged");
         assert_eq!(total.compute_cycles, tagged.compute_cycles);
     }

@@ -338,15 +338,18 @@ impl BinaryRadixTrie {
             if alive.is_empty() {
                 break;
             }
-            // Issue the whole level's node lines overlapped...
+            // One fused pass per level: gather the level's node lines,
+            // advance each lane host-side, and *touch* every lane's next
+            // node so its host-cache miss resolves while the charging walk
+            // below runs. Host reads charge nothing, so issuing them early
+            // cannot change simulated results; the charge sequence (this
+            // level's lines, in lane order) is identical to charging
+            // first and advancing second.
             addrs.clear();
+            next_alive.clear();
+            let mut next_touch = 0u32;
             for &l in &alive {
                 push_covering_lines(&mut addrs, self.nodes.addr_of(cur[l]), self.nodes.stride());
-            }
-            ctx.read_batch(&addrs, mlp);
-            // ...then advance each lane host-side over the same nodes.
-            next_alive.clear();
-            for &l in &alive {
                 let node = *self.nodes.peek(cur[l]);
                 levels[l] += 1;
                 if node[2] != 0 {
@@ -360,8 +363,11 @@ impl BinaryRadixTrie {
                 if child != NO_CHILD {
                     cur[l] = child as usize;
                     next_alive.push(l);
+                    next_touch ^= self.nodes.peek(cur[l])[2];
                 }
             }
+            std::hint::black_box(next_touch);
+            ctx.read_batch(&addrs, mlp);
             std::mem::swap(&mut alive, &mut next_alive);
         }
         // Final dependent reads: the matched route entries, overlapped.

@@ -42,6 +42,7 @@ use pp_net::batch::PacketBatch;
 use pp_net::gen::traffic::TrafficGen;
 use pp_net::packet::Packet;
 use pp_sim::arena::DomainAllocator;
+use pp_sim::counters::TagId;
 use pp_sim::ctx::ExecCtx;
 use pp_sim::engine::{CoreTask, TurnResult};
 use pp_sim::latency::LatencyHistogram;
@@ -61,6 +62,8 @@ pub struct FrameworkChurn {
     lines: u64,
     cursor: u64,
     per_packet: u32,
+    /// The `framework` tag, interned once (`TagId` protocol).
+    tag: TagId,
 }
 
 impl FrameworkChurn {
@@ -72,13 +75,14 @@ impl FrameworkChurn {
             lines: bytes / CACHE_LINE,
             cursor: 0,
             per_packet: cost.framework_lines_per_packet,
+            tag: TagId::intern("framework"),
         }
     }
 
     /// Touch this packet's window of framework lines.
     #[inline]
     pub fn touch(&mut self, ctx: &mut ExecCtx<'_>) {
-        ctx.scoped("framework", |ctx| {
+        ctx.scoped_id(self.tag, |ctx| {
             for _ in 0..self.per_packet {
                 ctx.read(self.region + (self.cursor % self.lines) * CACHE_LINE);
                 self.cursor += 1;
@@ -89,7 +93,7 @@ impl FrameworkChurn {
 
 /// A complete run-to-completion flow on one core. See the module docs.
 pub struct FlowTask {
-    label: String,
+    label: Rc<str>,
     gen: TrafficGen,
     nic: Rc<RefCell<NicQueue>>,
     graph: ElementGraph,
@@ -124,7 +128,7 @@ impl FlowTask {
         cost: CostModel,
     ) -> Self {
         FlowTask {
-            label: label.into(),
+            label: Rc::from(label.into()),
             gen,
             nic,
             graph,
@@ -283,11 +287,15 @@ impl CoreTask for FlowTask {
     fn label(&self) -> &str {
         &self.label
     }
+
+    fn label_shared(&self) -> Rc<str> {
+        self.label.clone()
+    }
 }
 
 /// Pipeline stage 1: receive + the front of the chain, then enqueue.
 pub struct SourceStage {
-    label: String,
+    label: Rc<str>,
     gen: TrafficGen,
     nic: Rc<RefCell<NicQueue>>,
     /// Front sub-chain (may be empty: pure receive stage).
@@ -319,7 +327,7 @@ impl SourceStage {
         cost: CostModel,
     ) -> Self {
         SourceStage {
-            label: label.into(),
+            label: Rc::from(label.into()),
             gen,
             nic,
             graph,
@@ -482,12 +490,16 @@ impl CoreTask for SourceStage {
     fn label(&self) -> &str {
         &self.label
     }
+
+    fn label_shared(&self) -> Rc<str> {
+        self.label.clone()
+    }
 }
 
 /// Pipeline stage 2: dequeue, run the back of the chain, transmit (with
 /// cross-core buffer recycling into the source stage's pool).
 pub struct SinkStage {
-    label: String,
+    label: Rc<str>,
     input: Rc<RefCell<SpscQueue>>,
     graph: ElementGraph,
     /// The *source* core's NIC queue: drops recycle into it cross-core.
@@ -519,7 +531,7 @@ impl SinkStage {
         nic: Rc<RefCell<NicQueue>>,
     ) -> Self {
         SinkStage {
-            label: label.into(),
+            label: Rc::from(label.into()),
             input,
             graph,
             nic,
@@ -662,6 +674,10 @@ impl CoreTask for SinkStage {
     fn label(&self) -> &str {
         &self.label
     }
+
+    fn label_shared(&self) -> Rc<str> {
+        self.label.clone()
+    }
 }
 
 #[cfg(test)]
@@ -706,7 +722,7 @@ mod tests {
         let meas = e.measure(100_000, 2_800_000); // 1 ms
         let cm = meas.core(CoreId(0)).unwrap();
         assert!(cm.metrics.pps > 100_000.0, "pps = {}", cm.metrics.pps);
-        assert_eq!(cm.label, "test-flow");
+        assert_eq!(&*cm.label, "test-flow");
         // No buffer leaks: pool cycles cleanly.
         assert!(cm.counts.total.packets > 0);
     }

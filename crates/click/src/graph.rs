@@ -24,6 +24,7 @@ use crate::cost::CostModel;
 use crate::element::{Action, Element};
 use pp_net::batch::PacketBatch;
 use pp_net::packet::Packet;
+use pp_sim::counters::TagId;
 use pp_sim::ctx::ExecCtx;
 use std::collections::VecDeque;
 
@@ -59,6 +60,10 @@ pub struct BatchOutcome {
 /// A wired set of elements. See the module docs.
 pub struct ElementGraph {
     elements: Vec<Box<dyn Element>>,
+    /// Each element's function tag, interned once at [`add`](Self::add)
+    /// time (the `TagId` protocol: scope entry on the per-packet hot path
+    /// is an O(1) handle lookup, never a string search).
+    tag_ids: Vec<TagId>,
     /// `edges[e][p]` = element receiving `e`'s output port `p`.
     edges: Vec<Vec<Option<ElementId>>>,
     entry: Option<ElementId>,
@@ -74,6 +79,7 @@ impl ElementGraph {
     pub fn new(cost: CostModel) -> Self {
         ElementGraph {
             elements: Vec::new(),
+            tag_ids: Vec::new(),
             edges: Vec::new(),
             entry: None,
             cost,
@@ -83,8 +89,10 @@ impl ElementGraph {
     }
 
     /// Add an element; the first added element becomes the entry point
-    /// unless [`set_entry`](Self::set_entry) overrides it.
+    /// unless [`set_entry`](Self::set_entry) overrides it. The element's
+    /// function tag is resolved to a [`TagId`] here, once.
     pub fn add(&mut self, e: Box<dyn Element>) -> ElementId {
+        self.tag_ids.push(TagId::intern(e.tag()));
         self.elements.push(e);
         self.edges.push(Vec::new());
         let id = self.elements.len() - 1;
@@ -179,8 +187,8 @@ impl ElementGraph {
             CostModel::charge(ctx, self.cost.element_hop);
             actions.clear();
             let el = &mut self.elements[cur];
-            let tag = el.tag();
-            ctx.scoped(tag, |ctx| el.process_batch(ctx, &mut pkts, &mut actions));
+            let tag = self.tag_ids[cur];
+            ctx.scoped_id(tag, |ctx| el.process_batch(ctx, &mut pkts, &mut actions));
             // Hard assert (once per batch, so cheap): an element that emits
             // fewer actions than packets would silently leak NIC buffers in
             // release builds via the zip below.
@@ -236,8 +244,8 @@ impl ElementGraph {
         loop {
             CostModel::charge(ctx, self.cost.element_hop);
             let el = &mut self.elements[cur];
-            let tag = el.tag();
-            let action = ctx.scoped(tag, |ctx| el.process(ctx, &mut pkt));
+            let tag = self.tag_ids[cur];
+            let action = ctx.scoped_id(tag, |ctx| el.process(ctx, &mut pkt));
             match action {
                 Action::Consumed => return GraphOutcome::Consumed,
                 Action::Drop => {

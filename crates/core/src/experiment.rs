@@ -43,13 +43,37 @@ pub struct ExpParams {
 
 impl ExpParams {
     /// Paper-scale measurement (used by the `repro` harness).
+    ///
+    /// The window was 18 ms through PR 2; the PR-3 simulator speedup pays
+    /// for 30 ms at roughly the old wall cost, which covers ~2/3 more
+    /// packets per sweep point and visibly smooths the Fig. 5/7 curves.
+    /// `repro --packets N` overrides this knob for any size.
     pub fn paper() -> Self {
-        ExpParams { warmup_ms: 6.0, window_ms: 18.0, scale: Scale::Paper, seed: 42 }
+        ExpParams { warmup_ms: 8.0, window_ms: 30.0, scale: Scale::Paper, seed: 42 }
     }
 
     /// Fast test-scale measurement (used by unit/integration tests).
     pub fn quick() -> Self {
         ExpParams { warmup_ms: 1.0, window_ms: 3.0, scale: Scale::Test, seed: 42 }
+    }
+
+    /// Resize the measurement window so a scalar flow covers roughly
+    /// `packets` packets — the one knob `repro --packets N` exposes for
+    /// simulation size, replacing per-experiment window constants.
+    ///
+    /// The conversion assumes the nominal ~1000 cycles/packet that the
+    /// realistic workloads average at 2.8 GHz; it is a sizing heuristic,
+    /// not a guarantee (MON covers fewer packets per window than IP).
+    /// Warmup scales to a third of the window, floored so caches still
+    /// reach steady state on tiny windows.
+    pub fn with_packets(mut self, packets: u64) -> Self {
+        const NOMINAL_CYCLES_PER_PACKET: f64 = 1000.0;
+        const NOMINAL_GHZ: f64 = 2.8;
+        let window_ms =
+            packets.max(1) as f64 * NOMINAL_CYCLES_PER_PACKET / (NOMINAL_GHZ * 1e9) * 1e3;
+        self.window_ms = window_ms.max(0.1);
+        self.warmup_ms = (self.window_ms / 3.0).max(0.3);
+        self
     }
 
     /// Warmup length in cycles on the given machine config.

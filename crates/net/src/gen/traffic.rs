@@ -124,6 +124,13 @@ pub struct TrafficGen {
     rng: SmallRng,
     flows: Vec<FlowKey>,
     builder: PacketBuilder,
+    /// Reused payload buffer: `next_packet` copies it into the frame, so
+    /// the per-packet temporary never needs a fresh allocation. The RNG
+    /// call sequence is identical to the allocate-per-packet version, so
+    /// generated streams are byte-for-byte unchanged.
+    payload_scratch: Vec<u8>,
+    /// Cached template frame (see [`next_packet`](Self::next_packet)).
+    template: Option<Packet>,
     history: VecDeque<Vec<u8>>,
     /// Signature corpus for `PayloadKind::SignatureTease`.
     corpus: Vec<Vec<u8>>,
@@ -161,6 +168,8 @@ impl TrafficGen {
             rng,
             flows,
             builder: PacketBuilder::default(),
+            payload_scratch: Vec::new(),
+            template: None,
             history: VecDeque::new(),
             corpus,
             generated: 0,
@@ -177,31 +186,33 @@ impl TrafficGen {
         &self.flows
     }
 
-    fn next_payload(&mut self) -> Vec<u8> {
+    /// Fill `payload_scratch` with the next payload. Consumes exactly the
+    /// RNG draws the historical allocate-per-packet version did, so
+    /// streams are unchanged.
+    fn next_payload(&mut self) {
         let len = self.spec.payload_len();
+        let p = &mut self.payload_scratch;
+        p.clear();
         match self.spec.payload {
-            PayloadKind::Zeros => vec![0u8; len],
+            PayloadKind::Zeros => p.resize(len, 0),
             PayloadKind::Random => {
-                let mut p = vec![0u8; len];
-                self.rng.fill_bytes(&mut p);
-                p
+                p.resize(len, 0);
+                self.rng.fill_bytes(p);
             }
             PayloadKind::Redundant { ratio } => {
                 if !self.history.is_empty() && self.rng.random_bool(ratio.clamp(0.0, 1.0)) {
                     let i = self.rng.random_range(0..self.history.len());
-                    self.history[i].clone()
+                    p.extend_from_slice(&self.history[i]);
                 } else {
-                    let mut p = vec![0u8; len];
-                    self.rng.fill_bytes(&mut p);
+                    p.resize(len, 0);
+                    self.rng.fill_bytes(p);
                     if self.history.len() == HISTORY_CAP {
                         self.history.pop_front();
                     }
                     self.history.push_back(p.clone());
-                    p
                 }
             }
             PayloadKind::SignatureTease { full_match_per_mille, .. } => {
-                let mut p = Vec::with_capacity(len);
                 let embed_full = self.rng.random_range(0..1000) < full_match_per_mille as u32;
                 let mut embedded = false;
                 while p.len() < len {
@@ -228,12 +239,18 @@ impl TrafficGen {
                     }
                 }
                 p.truncate(len);
-                p
             }
         }
     }
 
     /// Generate the next packet of the stream.
+    ///
+    /// Frames are cloned from a cached template (built by the ordinary
+    /// [`PacketBuilder`] path on first use) and patched in place:
+    /// addresses, ports, payload, and an RFC 1624 incremental IPv4
+    /// checksum update for the four changed header words. A debug
+    /// assertion (and `template_matches_builder` in the tests) pins the
+    /// patched frame byte-for-byte to what the builder would produce.
     pub fn next_packet(&mut self) -> Packet {
         let key = if self.flows.is_empty() {
             FlowKey {
@@ -247,9 +264,69 @@ impl TrafficGen {
             let i = self.rng.random_range(0..self.flows.len());
             self.flows[i]
         };
-        let payload = self.next_payload();
+        self.next_payload();
         self.generated += 1;
-        self.builder.udp(key.src, key.dst, key.src_port, key.dst_port, &payload)
+        let pkt = self.patched_from_template(&key);
+        debug_assert_eq!(
+            pkt.data,
+            self.builder
+                .udp(key.src, key.dst, key.src_port, key.dst_port, &self.payload_scratch)
+                .data,
+            "template patching must reproduce the builder's frame exactly"
+        );
+        pkt
+    }
+
+    /// Clone the cached template frame and patch key + payload into it.
+    fn patched_from_template(&mut self, key: &FlowKey) -> Packet {
+        const ETH: usize = 14; // EthernetHeader::LEN
+        const IP: usize = 20; // Ipv4Header::LEN
+        const UDP: usize = 8; // UdpHeader::LEN
+        if self.template.is_none() {
+            // Build once through the ordinary builder with a fixed key; all
+            // patched fields are overwritten below on every packet.
+            let t = self.builder.udp(
+                Ipv4Addr::new(1, 0, 0, 1),
+                Ipv4Addr::new(1, 0, 0, 2),
+                1024,
+                1,
+                &self.payload_scratch,
+            );
+            self.template = Some(t);
+        }
+        let tmpl = self.template.as_ref().expect("just built");
+        let mut pkt = Packet::from_bytes(tmpl.data.clone());
+        let b = &mut pkt.data;
+        // Patch the payload (its length is fixed per spec).
+        let off = ETH + IP + UDP;
+        b[off..off + self.payload_scratch.len()].copy_from_slice(&self.payload_scratch);
+        // Patch addresses and ports.
+        let old_src = [b[ETH + 12], b[ETH + 13], b[ETH + 14], b[ETH + 15]];
+        let old_dst = [b[ETH + 16], b[ETH + 17], b[ETH + 18], b[ETH + 19]];
+        b[ETH + 12..ETH + 16].copy_from_slice(&key.src.octets());
+        b[ETH + 16..ETH + 20].copy_from_slice(&key.dst.octets());
+        b[ETH + IP..ETH + IP + 2].copy_from_slice(&key.src_port.to_be_bytes());
+        b[ETH + IP + 2..ETH + IP + 4].copy_from_slice(&key.dst_port.to_be_bytes());
+        // Incrementally update the IPv4 header checksum for the four
+        // changed 16-bit words (ports are not covered by it; the UDP
+        // checksum stays 0 as the builder leaves it).
+        let mut ck = u16::from_be_bytes([b[ETH + 10], b[ETH + 11]]);
+        let news = key.src.octets();
+        let newd = key.dst.octets();
+        for (old, new) in [
+            ([old_src[0], old_src[1]], [news[0], news[1]]),
+            ([old_src[2], old_src[3]], [news[2], news[3]]),
+            ([old_dst[0], old_dst[1]], [newd[0], newd[1]]),
+            ([old_dst[2], old_dst[3]], [newd[2], newd[3]]),
+        ] {
+            ck = crate::checksum::update16(
+                ck,
+                u16::from_be_bytes(old),
+                u16::from_be_bytes(new),
+            );
+        }
+        b[ETH + 10..ETH + 12].copy_from_slice(&ck.to_be_bytes());
+        pkt
     }
 }
 
@@ -257,6 +334,33 @@ impl TrafficGen {
 mod tests {
     use super::*;
     use std::collections::HashSet;
+
+    #[test]
+    fn template_matches_builder() {
+        // The template-patching fast path must reproduce the builder's
+        // frame byte for byte, for every traffic shape.
+        for spec in [
+            TrafficSpec::random_dst(64, 3),
+            TrafficSpec::random_dst(256, 4),
+            TrafficSpec::flow_population(128, 50, 5),
+        ] {
+            let mut patched = TrafficGen::new(spec.clone());
+            let mut rebuilt = TrafficGen::new(spec);
+            for _ in 0..200 {
+                let p = patched.next_packet();
+                // Rebuild through the builder with the same key/payload.
+                let q = rebuilt.next_packet();
+                let qb = rebuilt.builder.udp(
+                    q.ipv4().unwrap().src,
+                    q.ipv4().unwrap().dst,
+                    q.flow_key().unwrap().src_port,
+                    q.flow_key().unwrap().dst_port,
+                    q.payload().unwrap(),
+                );
+                assert_eq!(p.data, qb.data);
+            }
+        }
+    }
 
     #[test]
     fn deterministic_across_instances() {

@@ -11,28 +11,55 @@
 //!
 //! The paper's central phenomena — hit-to-miss conversion under contention
 //! and its flattening shape (Figs. 5, 7) — emerge from exactly this LRU
-//! sharing behaviour, so this module is deliberately a faithful, unclever
-//! implementation rather than an approximation.
+//! sharing behaviour. The *semantics* are deliberately faithful and
+//! unclever; the PR-2-era array-of-structs implementation is preserved
+//! verbatim in [`crate::reference`] as the executable specification, and
+//! property tests assert this module matches it operation for operation.
+//!
+//! ## SoA layout and host-speed machinery (PR 3 hot-path overhaul)
+//!
+//! The simulator's wall-clock is dominated by these lookups, so way
+//! metadata is stored structure-of-arrays: a compact `tags` array (the
+//! only thing a lookup scans — for an 8-way set that is 64 contiguous
+//! bytes, one host cache line, instead of eight 40-byte `Line` structs
+//! spread over five) and a packed `meta` array carrying LRU stamp,
+//! presence mask, and dirty bit in one word, both indexed
+//! `set * ways + way`. Validity is encoded as a tag sentinel
+//! ([`INVALID_TAG`], unreachable for real addresses because tags are
+//! `line_addr >> 6` ≤ 2^58), so the scan needs no separate valid check.
+//!
+//! The implementation techniques, all policed for exactness by the
+//! [`crate::reference`] equivalence proptests:
+//!
+//! * [`Cache::hit_update`] is the inlineable fast-path entry: it performs
+//!   a full hit (LRU refresh, dirty/stats update) but leaves *all*
+//!   simulated state untouched on a miss, which is what lets
+//!   [`ExecCtx::read`](crate::ctx::ExecCtx::read) commit to the hit
+//!   before the full hierarchy walk runs;
+//! * set indexing is division-free for the machine's geometries
+//!   (`SetIndex`), scans and victim selection are branchless fixed-width
+//!   code for 8/16 ways, and a miss scan memoizes its set base and
+//!   invalid-way mask for the fill that always follows;
+//! * an MRU way hint short-circuits back-to-back hits on one line (the
+//!   dominant pattern at a trie's root levels);
+//! * [`Cache::prewarm`] lets batch callers pre-touch set metadata (pure
+//!   host loads, zero simulated effect) so the serial charging walk runs
+//!   against a warm host cache.
 
 use crate::config::CacheGeom;
 use crate::types::{line_of, Addr, CACHE_LINE_SHIFT};
 
-/// Per-line metadata. `tag` stores the full line address (address >> 6) for
-/// simplicity; a real cache would store only the bits above the index.
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    lru: u64,
-    valid: bool,
-    dirty: bool,
-    /// Bitmask of cores whose private caches may hold this line (L3 only;
-    /// imprecise: bits are set on fill/hit, never cleared on silent private
-    /// eviction, which only causes harmless spurious invalidations).
-    presence: u16,
-}
+/// Tag sentinel for an invalid way. Real tags are `line_addr >> 6`, so the
+/// all-ones pattern can never collide with a resident line.
+const INVALID_TAG: u64 = u64::MAX;
 
 /// Result of a cache lookup-with-fill (see [`Cache::access`]).
+///
+/// `#[repr(u8)]` pins the discriminant so comparisons on the access fast
+/// path compile to a byte test (see the PR-3 monomorphization notes in
+/// `ctx.rs`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
 pub enum LookupResult {
     /// The line was present.
     Hit,
@@ -68,14 +95,108 @@ pub struct CacheStats {
     pub invalidations: u64,
 }
 
-/// One level of cache. See the module docs.
+/// Packed per-way metadata word: `dirty:1 | presence:16 | lru:47`. One
+/// array next to `tags` keeps a hit (and a victim search) inside two host
+/// cache streams instead of four — the L3's metadata is megabytes, and
+/// host-cache misses on it are what the simulator's wall-clock is made of.
+/// 47 LRU bits bound the per-cache lookup clock at ~1.4e14 accesses, far
+/// beyond any run (debug-asserted in `access`).
+const META_DIRTY: u64 = 1;
+const META_PRESENCE_SHIFT: u32 = 1;
+const META_PRESENCE_MASK: u64 = 0xFFFF << META_PRESENCE_SHIFT;
+const META_LRU_SHIFT: u32 = 17;
+
+#[inline]
+fn meta_pack(lru: u64, presence: u16, dirty: bool) -> u64 {
+    debug_assert!(lru < (1 << (64 - META_LRU_SHIFT)));
+    (lru << META_LRU_SHIFT)
+        | ((presence as u64) << META_PRESENCE_SHIFT)
+        | (dirty as u64)
+}
+
+/// One level of cache. See the module docs for the SoA layout.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    lines: Vec<Line>,
+    /// Per-way tags (`line_addr >> 6`; [`INVALID_TAG`] = way empty),
+    /// indexed `set * ways + way`. The hot lookup scans only this array —
+    /// one or two contiguous host cache lines per set.
+    tags: Vec<u64>,
+    /// Per-way packed metadata (see [`meta_pack`]): the LRU stamp (larger
+    /// = more recently used), the presence mask — cores whose private
+    /// caches may hold the line (L3 directory only; imprecise: bits are
+    /// set on fill/hit, never cleared on silent private eviction, which
+    /// only causes harmless spurious invalidations) — and the dirty bit.
+    /// Packing all three into one word means a hit or victim search
+    /// touches two arrays, not four.
+    meta: Vec<u64>,
     num_sets: u64,
+    /// How the hot set-index computation avoids a 64-bit division (a
+    /// division per lookup is measurable at simulator scale): power-of-two
+    /// set counts (L1/L2) reduce to a mask, and `c · 2^p` set counts with
+    /// `c = 3` (the paper's 12288-set L3 = 3 · 4096) reduce to a shifted
+    /// constant-3 remainder the compiler strength-reduces to a multiply.
+    /// Anything else falls back to `%` — still exact, just slower.
+    set_index: SetIndex,
     ways: usize,
     clock: u64,
     stats: CacheStats,
+    /// Host-side scan memo: every demand-path miss is followed by a fill
+    /// of the same line into the same set, so the miss scan remembers its
+    /// byproducts (set base and invalid-way mask keyed by the line's tag)
+    /// and the fill skips recomputing them. Purely an implementation
+    /// cache: any tag mutation (insert/invalidate/clear) drops it, hits
+    /// never change tags so they leave it intact, and the reference
+    /// equivalence proptests police that it can never change simulated
+    /// results. `memo_tag == INVALID_TAG` means "no memo".
+    memo_tag: u64,
+    memo_base: usize,
+    memo_invalid: u32,
+    /// Host-side MRU hint: the last tag that hit and its way index, so
+    /// back-to-back hits on one line (the dominant pattern at a trie's
+    /// root levels) skip the set scan. Same staleness rule as the miss
+    /// memo: hits never move lines, so only tag mutations drop it.
+    mru_tag: u64,
+    mru_way: u32,
+}
+
+/// Strategy for mapping a tag to its set number; see [`Cache::set_index`].
+/// All three arms compute exactly `tag % num_sets`.
+#[derive(Debug, Clone, Copy)]
+enum SetIndex {
+    /// `num_sets` is a power of two: `tag & mask`.
+    Mask(u64),
+    /// `num_sets = 3 << p`: `((tag >> p) % 3) << p | (tag & ((1<<p)-1))`.
+    Times3 { p: u32, low_mask: u64 },
+    /// General case: `tag % num_sets`.
+    Div(u64),
+}
+
+impl SetIndex {
+    fn for_sets(num_sets: u64) -> SetIndex {
+        let p = num_sets.trailing_zeros();
+        if num_sets.is_power_of_two() {
+            SetIndex::Mask(num_sets - 1)
+        } else if num_sets >> p == 3 {
+            SetIndex::Times3 { p, low_mask: (1u64 << p) - 1 }
+        } else {
+            SetIndex::Div(num_sets)
+        }
+    }
+
+    /// `tag % num_sets`, by the precomputed strategy.
+    #[inline]
+    fn of(self, tag: u64) -> u64 {
+        match self {
+            SetIndex::Mask(m) => tag & m,
+            SetIndex::Times3 { p, low_mask } => {
+                // tag = q·(3·2^p) + a·2^p + b with a < 3, b < 2^p, so
+                // tag mod (3·2^p) = a·2^p + b; `% 3` is a literal constant
+                // the compiler turns into a multiply-high.
+                (((tag >> p) % 3) << p) | (tag & low_mask)
+            }
+            SetIndex::Div(d) => tag % d,
+        }
+    }
 }
 
 impl Cache {
@@ -83,12 +204,20 @@ impl Cache {
     pub fn new(geom: CacheGeom) -> Self {
         let num_sets = geom.num_sets();
         let ways = geom.ways as usize;
+        let n = (num_sets as usize) * ways;
         Cache {
-            lines: vec![Line::default(); (num_sets as usize) * ways],
+            tags: vec![INVALID_TAG; n],
+            meta: vec![0u64; n],
             num_sets,
+            set_index: SetIndex::for_sets(num_sets),
             ways,
             clock: 0,
             stats: CacheStats::default(),
+            memo_tag: INVALID_TAG,
+            memo_base: 0,
+            memo_invalid: 0,
+            mru_tag: INVALID_TAG,
+            mru_way: 0,
         }
     }
 
@@ -113,12 +242,134 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    /// The line's tag and its set's first way index.
     #[inline]
-    fn set_range(&self, line_addr: u64) -> (usize, usize) {
-        let tag = line_addr >> CACHE_LINE_SHIFT;
-        let set = (tag % self.num_sets) as usize;
-        let start = set * self.ways;
-        (start, start + self.ways)
+    fn locate(&self, addr: Addr) -> (u64, usize) {
+        let tag = line_of(addr) >> CACHE_LINE_SHIFT;
+        let set = self.set_index.of(tag);
+        (tag, set as usize * self.ways)
+    }
+
+    /// Way index (0-based within the set) holding `tag` in the set whose
+    /// ways start at `base`, if resident. The scan touches only the
+    /// contiguous tag words.
+    ///
+    /// Dispatches once on the associativity into a `const`-width scan for
+    /// the common 8/16-way geometries: with the width a compile-time
+    /// constant, the equality scan compiles branch-free (vectorized
+    /// compares + trailing-zeros) instead of a bounds-checked early-exit
+    /// loop — the per-way branches are the bulk of the lookup's dynamic
+    /// instructions (PR-3 monomorphization audit; verified by inspecting
+    /// `llvm-objdump` output of the fully-inlined `l1_missed_access`).
+    #[inline]
+    fn find_way(&self, tag: u64, base: usize) -> Option<usize> {
+        match self.ways {
+            8 => Self::find_way_w::<8>(&self.tags[base..base + 8], tag),
+            16 => Self::find_way_w::<16>(&self.tags[base..base + 16], tag),
+            _ => self.tags[base..base + self.ways].iter().position(|&t| t == tag),
+        }
+    }
+
+    /// Branch-free fixed-width victim selection: the first invalid way if
+    /// any, else the minimum-LRU way (first index on ties) — exactly the
+    /// early-exit loop's choice, computed with conditional moves instead
+    /// of data-dependent branches.
+    #[inline]
+    fn victim_w<const W: usize>(tags: &[u64; W], meta: &[u64; W]) -> usize {
+        let mut invalid_mask = 0u32;
+        for (w, &t) in tags.iter().enumerate() {
+            invalid_mask |= ((t == INVALID_TAG) as u32) << w;
+        }
+        if invalid_mask != 0 {
+            return invalid_mask.trailing_zeros() as usize;
+        }
+        Self::min_lru_w(meta)
+    }
+
+    /// Branch-free fixed-width minimum-LRU way (first index on ties); used
+    /// when the scan memo already proved there is no invalid way.
+    #[inline]
+    fn min_lru_w<const W: usize>(meta: &[u64; W]) -> usize {
+        let mut victim = 0usize;
+        let mut best = u64::MAX;
+        for (w, &m) in meta.iter().enumerate() {
+            let lru = m >> META_LRU_SHIFT;
+            let better = lru < best;
+            victim = if better { w } else { victim };
+            best = if better { lru } else { best };
+        }
+        victim
+    }
+
+    /// Generic-width arm of [`min_lru_w`](Self::min_lru_w).
+    fn min_lru_generic(&self, base: usize) -> usize {
+        let mut victim = 0usize;
+        let mut best = u64::MAX;
+        for w in 0..self.ways {
+            let lru = self.meta[base + w] >> META_LRU_SHIFT;
+            if lru < best {
+                best = lru;
+                victim = w;
+            }
+        }
+        victim
+    }
+
+    /// Branch-free fixed-width scan (see [`find_way`](Self::find_way)).
+    #[inline]
+    fn find_way_w<const W: usize>(tags: &[u64], tag: u64) -> Option<usize> {
+        let tags: &[u64; W] = tags.try_into().expect("slice is exactly W long");
+        let mut mask = 0u32;
+        for (w, &t) in tags.iter().enumerate() {
+            mask |= ((t == tag) as u32) << w;
+        }
+        if mask != 0 {
+            Some(mask.trailing_zeros() as usize)
+        } else {
+            None
+        }
+    }
+
+    /// One pass over a set's tags computing the match mask *and* the
+    /// invalid-way mask (the two compares vectorize together). The lookup
+    /// needs the first; a miss stores the second in the scan memo for the
+    /// fill that follows.
+    #[inline]
+    fn scan(&self, tag: u64, base: usize) -> (u32, u32) {
+        match self.ways {
+            8 => Self::scan_w::<8>(&self.tags[base..base + 8], tag),
+            16 => Self::scan_w::<16>(&self.tags[base..base + 16], tag),
+            _ => {
+                let mut mask = 0u32;
+                let mut invalid = 0u32;
+                for (w, &t) in self.tags[base..base + self.ways].iter().enumerate() {
+                    mask |= ((t == tag) as u32) << w;
+                    invalid |= ((t == INVALID_TAG) as u32) << w;
+                }
+                (mask, invalid)
+            }
+        }
+    }
+
+    /// Fixed-width arm of [`scan`](Self::scan).
+    #[inline]
+    fn scan_w<const W: usize>(tags: &[u64], tag: u64) -> (u32, u32) {
+        let tags: &[u64; W] = tags.try_into().expect("slice is exactly W long");
+        let mut mask = 0u32;
+        let mut invalid = 0u32;
+        for (w, &t) in tags.iter().enumerate() {
+            mask |= ((t == tag) as u32) << w;
+            invalid |= ((t == INVALID_TAG) as u32) << w;
+        }
+        (mask, invalid)
+    }
+
+    /// Remember a miss scan's byproducts for the fill that follows.
+    #[inline]
+    fn memoize_miss(&mut self, tag: u64, base: usize, invalid: u32) {
+        self.memo_tag = tag;
+        self.memo_base = base;
+        self.memo_invalid = invalid;
     }
 
     /// Look up a line; on a hit, refresh LRU, optionally mark dirty, and
@@ -128,43 +379,134 @@ impl Cache {
     /// `addr` may be any byte address; it is truncated to its line.
     #[inline]
     pub fn access(&mut self, addr: Addr, write: bool, presence: u16) -> LookupResult {
-        let line_addr = line_of(addr);
-        let tag = line_addr >> CACHE_LINE_SHIFT;
-        let (start, end) = self.set_range(line_addr);
+        let (tag, base) = self.locate(addr);
         self.clock += 1;
-        for i in start..end {
-            let l = &mut self.lines[i];
-            if l.valid && l.tag == tag {
-                l.lru = self.clock;
-                l.dirty |= write;
-                l.presence |= presence;
-                self.stats.hits += 1;
-                return LookupResult::Hit;
-            }
+        let (mask, invalid) = self.scan(tag, base);
+        if mask != 0 {
+            let i = base + mask.trailing_zeros() as usize;
+            let keep = self.meta[i] & (META_PRESENCE_MASK | META_DIRTY);
+            self.meta[i] = (self.clock << META_LRU_SHIFT)
+                | keep
+                | ((presence as u64) << META_PRESENCE_SHIFT)
+                | (write as u64);
+            self.stats.hits += 1;
+            LookupResult::Hit
+        } else {
+            self.memoize_miss(tag, base, invalid);
+            self.stats.misses += 1;
+            LookupResult::Miss
         }
+    }
+
+    /// The fast-path lookup: a *hit* performs the complete `access`
+    /// bookkeeping (clock advance, LRU refresh, dirty update, hit count); a
+    /// *miss returns with every piece of cache state untouched* — no clock
+    /// tick, no miss count — so the caller can re-run the full
+    /// [`access`](Self::access) on the slow path and end up with exactly
+    /// the state a single slow-path access would have produced.
+    ///
+    /// Presence merging is not supported (private L1/L2 caches always pass
+    /// a zero mask); use `access` on levels that maintain the directory.
+    #[inline]
+    pub fn hit_update(&mut self, addr: Addr, write: bool) -> bool {
+        let tag = line_of(addr) >> CACHE_LINE_SHIFT;
+        if tag == self.mru_tag {
+            // Same line as the previous hit: the way is known and tags
+            // cannot have moved (mutations drop the hint).
+            let base = self.memo_base_of(tag);
+            let i = base + self.mru_way as usize;
+            debug_assert_eq!(self.tags[i], tag);
+            self.clock += 1;
+            let keep = self.meta[i] & (META_PRESENCE_MASK | META_DIRTY);
+            self.meta[i] =
+                (self.clock << META_LRU_SHIFT) | keep | (write as u64);
+            self.stats.hits += 1;
+            return true;
+        }
+        let base = self.set_index.of(tag) as usize * self.ways;
+        let (mask, invalid) = self.scan(tag, base);
+        if mask != 0 {
+            self.clock += 1;
+            let w = mask.trailing_zeros() as usize;
+            let i = base + w;
+            let keep = self.meta[i] & (META_PRESENCE_MASK | META_DIRTY);
+            self.meta[i] =
+                (self.clock << META_LRU_SHIFT) | keep | (write as u64);
+            self.stats.hits += 1;
+            self.mru_tag = tag;
+            self.mru_way = w as u32;
+            true
+        } else {
+            // The memo is host-side only, so "miss leaves cache state
+            // untouched" still holds for everything simulated.
+            self.memoize_miss(tag, base, invalid);
+            false
+        }
+    }
+
+    /// Set base for a tag (used by the MRU-hint hit path).
+    #[inline]
+    fn memo_base_of(&self, tag: u64) -> usize {
+        self.set_index.of(tag) as usize * self.ways
+    }
+
+    /// Record a lookup known to miss (the fast path already scanned and
+    /// found nothing): advances the lookup clock and the miss count exactly
+    /// as a full [`access`](Self::access) miss would, without re-scanning
+    /// the set. Calling this when the line *is* resident would corrupt the
+    /// hit/miss accounting — it is only sound immediately after a failed
+    /// [`hit_update`](Self::hit_update) with no intervening mutation.
+    #[inline]
+    pub fn record_miss(&mut self) {
+        self.clock += 1;
         self.stats.misses += 1;
-        LookupResult::Miss
+    }
+
+    /// Touch the host memory of the line's set block without reading any
+    /// simulated state (returns an opaque word the caller black-boxes so
+    /// the load cannot be optimized out). Pre-warming the blocks of a
+    /// known batch of addresses lets the host CPU overlap their DRAM
+    /// latencies before the serial charging walk runs — simulation state
+    /// is untouched, so results are bit-identical.
+    #[inline]
+    pub fn prewarm(&self, addr: Addr) -> u64 {
+        let (_, base) = self.locate(addr);
+        // One load per host cache line of the set's tags and meta, all
+        // independent — the point is to have their latencies overlap.
+        let mut acc = 0u64;
+        let mut w = 0;
+        while w < self.ways {
+            acc ^= self.tags[base + w] ^ self.meta[base + w];
+            w += 8;
+        }
+        acc
     }
 
     /// Whether the line is currently resident (no LRU update, no stats).
     pub fn probe(&self, addr: Addr) -> bool {
-        let line_addr = line_of(addr);
-        let tag = line_addr >> CACHE_LINE_SHIFT;
-        let (start, end) = self.set_range(line_addr);
-        self.lines[start..end].iter().any(|l| l.valid && l.tag == tag)
+        let (tag, base) = self.locate(addr);
+        self.find_way(tag, base).is_some()
+    }
+
+    /// The directory presence mask of a resident line (no LRU update, no
+    /// stats); `None` when the line is absent. On an inclusive L3 the mask
+    /// is a superset of the cores whose private caches hold the line, which
+    /// is what lets the coherence paths skip scanning every private cache
+    /// (see `Machine::dma_deliver`).
+    #[inline]
+    pub fn probe_presence(&self, addr: Addr) -> Option<u16> {
+        let (tag, base) = self.locate(addr);
+        self.find_way(tag, base).map(|w| {
+            ((self.meta[base + w] & META_PRESENCE_MASK) >> META_PRESENCE_SHIFT) as u16
+        })
     }
 
     /// If the line is resident, report whether it is dirty (no LRU update,
     /// no stats) — used by the coherence path to detect a modified copy in
     /// another core's private cache.
     pub fn probe_dirty(&self, addr: Addr) -> Option<bool> {
-        let line_addr = line_of(addr);
-        let tag = line_addr >> CACHE_LINE_SHIFT;
-        let (start, end) = self.set_range(line_addr);
-        self.lines[start..end]
-            .iter()
-            .find(|l| l.valid && l.tag == tag)
-            .map(|l| l.dirty)
+        let (tag, base) = self.locate(addr);
+        self.find_way(tag, base).map(|w| self.meta[base + w] & META_DIRTY != 0)
     }
 
     /// Fill a line after a miss, evicting the LRU victim of its set if the
@@ -172,8 +514,92 @@ impl Cache {
     ///
     /// `dirty` marks the fill as modified (write-allocate stores, or DMA
     /// data newer than DRAM). `presence` seeds the directory mask.
+    ///
+    /// This is the all-ways-allowed specialization of
+    /// [`insert_masked`](Self::insert_masked) — identical victim choice and
+    /// bookkeeping, minus the per-way mask tests. Every fill on the L1/L2
+    /// path (and the L3 path without CAT) lands here, so the loop is kept
+    /// branch-lean (PR-3 audit).
+    #[inline]
     pub fn insert(&mut self, addr: Addr, dirty: bool, presence: u16) -> Option<Evicted> {
-        self.insert_masked(addr, dirty, presence, u64::MAX)
+        let tag = line_of(addr) >> CACHE_LINE_SHIFT;
+        // Every demand miss is followed by exactly this fill, so the miss
+        // scan's memo usually hands us the set base and invalid-way mask.
+        let (base, invalid) = if tag == self.memo_tag {
+            (self.memo_base, Some(self.memo_invalid))
+        } else {
+            (self.set_index.of(tag) as usize * self.ways, None)
+        };
+        self.clock += 1;
+
+        // Prefer an invalid way; otherwise evict the LRU way. The common
+        // 8/16-way geometries use the branchless const-width selector
+        // (every fill runs this; data-dependent branches on random LRU
+        // orders mispredict constantly — PR-3 audit).
+        let victim = match invalid {
+            Some(inv) if inv != 0 => inv.trailing_zeros() as usize,
+            Some(_) => match self.ways {
+                8 => Self::min_lru_w::<8>(
+                    (&self.meta[base..base + 8]).try_into().expect("8 ways"),
+                ),
+                16 => Self::min_lru_w::<16>(
+                    (&self.meta[base..base + 16]).try_into().expect("16 ways"),
+                ),
+                _ => self.min_lru_generic(base),
+            },
+            None => match self.ways {
+                8 => Self::victim_w::<8>(
+                    (&self.tags[base..base + 8]).try_into().expect("8 ways"),
+                    (&self.meta[base..base + 8]).try_into().expect("8 ways"),
+                ),
+                16 => Self::victim_w::<16>(
+                    (&self.tags[base..base + 16]).try_into().expect("16 ways"),
+                    (&self.meta[base..base + 16]).try_into().expect("16 ways"),
+                ),
+                _ => {
+                    let mut victim = usize::MAX;
+                    let mut best_lru = u64::MAX;
+                    for w in 0..self.ways {
+                        if self.tags[base + w] == INVALID_TAG {
+                            victim = w;
+                            break;
+                        }
+                        let lru = self.meta[base + w] >> META_LRU_SHIFT;
+                        if lru < best_lru {
+                            best_lru = lru;
+                            victim = w;
+                        }
+                    }
+                    victim
+                }
+            },
+        };
+
+        let i = base + victim;
+        let old_tag = self.tags[i];
+        let evicted = if old_tag != INVALID_TAG {
+            debug_assert_ne!(old_tag, tag, "inserting a line that is already present");
+            self.stats.evictions += 1;
+            let old_meta = self.meta[i];
+            let old_dirty = old_meta & META_DIRTY != 0;
+            if old_dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(Evicted {
+                line_addr: old_tag << CACHE_LINE_SHIFT,
+                dirty: old_dirty,
+                presence: ((old_meta & META_PRESENCE_MASK) >> META_PRESENCE_SHIFT)
+                    as u16,
+            })
+        } else {
+            None
+        };
+
+        self.tags[i] = tag;
+        self.meta[i] = meta_pack(self.clock, presence, dirty);
+        self.memo_tag = INVALID_TAG; // tags changed: memo and MRU are stale
+        self.mru_tag = INVALID_TAG;
+        evicted
     }
 
     /// [`insert`](Self::insert) restricted to the ways enabled in
@@ -194,80 +620,83 @@ impl Cache {
             way_mask & (u64::MAX >> (64 - self.ways.min(64))) != 0,
             "way mask enables no way"
         );
-        let line_addr = line_of(addr);
-        let tag = line_addr >> CACHE_LINE_SHIFT;
-        let (start, end) = self.set_range(line_addr);
+        let (tag, base) = self.locate(addr);
         self.clock += 1;
 
         // Prefer an invalid allowed way; otherwise evict the LRU allowed way.
         let mut victim = usize::MAX;
         let mut best_lru = u64::MAX;
-        for i in start..end {
-            if way_mask & (1u64 << (i - start)) == 0 {
+        for w in 0..self.ways {
+            if way_mask & (1u64 << w) == 0 {
                 continue;
             }
-            let l = &self.lines[i];
-            if !l.valid {
-                victim = i;
+            if self.tags[base + w] == INVALID_TAG {
+                victim = w;
                 break;
             }
-            if l.lru < best_lru {
-                best_lru = l.lru;
-                victim = i;
+            let lru = self.meta[base + w] >> META_LRU_SHIFT;
+            if lru < best_lru {
+                best_lru = lru;
+                victim = w;
             }
         }
         debug_assert_ne!(victim, usize::MAX);
 
-        let old = self.lines[victim];
-        let evicted = if old.valid {
-            debug_assert_ne!(old.tag, tag, "inserting a line that is already present");
+        let i = base + victim;
+        let old_tag = self.tags[i];
+        let evicted = if old_tag != INVALID_TAG {
+            debug_assert_ne!(old_tag, tag, "inserting a line that is already present");
             self.stats.evictions += 1;
-            if old.dirty {
+            let old_meta = self.meta[i];
+            let old_dirty = old_meta & META_DIRTY != 0;
+            if old_dirty {
                 self.stats.writebacks += 1;
             }
             Some(Evicted {
-                line_addr: old.tag << CACHE_LINE_SHIFT,
-                dirty: old.dirty,
-                presence: old.presence,
+                line_addr: old_tag << CACHE_LINE_SHIFT,
+                dirty: old_dirty,
+                presence: ((old_meta & META_PRESENCE_MASK) >> META_PRESENCE_SHIFT)
+                    as u16,
             })
         } else {
             None
         };
 
-        self.lines[victim] =
-            Line { tag, lru: self.clock, valid: true, dirty, presence };
+        self.tags[i] = tag;
+        self.meta[i] = meta_pack(self.clock, presence, dirty);
+        self.memo_tag = INVALID_TAG; // tags changed: memo and MRU are stale
+        self.mru_tag = INVALID_TAG;
         evicted
     }
 
     /// Remove a line if present; returns whether it was dirty (the caller
     /// decides whether the data must be pushed down the hierarchy).
     pub fn invalidate(&mut self, addr: Addr) -> Option<bool> {
-        let line_addr = line_of(addr);
-        let tag = line_addr >> CACHE_LINE_SHIFT;
-        let (start, end) = self.set_range(line_addr);
-        for i in start..end {
-            let l = &mut self.lines[i];
-            if l.valid && l.tag == tag {
-                l.valid = false;
-                self.stats.invalidations += 1;
-                return Some(l.dirty);
-            }
+        let (tag, base) = self.locate(addr);
+        if let Some(w) = self.find_way(tag, base) {
+            self.tags[base + w] = INVALID_TAG;
+            self.memo_tag = INVALID_TAG; // tags changed: memo and MRU are stale
+            self.mru_tag = INVALID_TAG;
+            self.stats.invalidations += 1;
+            Some(self.meta[base + w] & META_DIRTY != 0)
+        } else {
+            None
         }
-        None
     }
 
     /// Number of currently valid lines (test/diagnostic helper).
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
     }
 
     /// Drop all contents and statistics.
     pub fn clear(&mut self) {
-        for l in &mut self.lines {
-            *l = Line::default();
-        }
+        self.tags.fill(INVALID_TAG);
+        self.meta.fill(0);
         self.clock = 0;
         self.stats = CacheStats::default();
+        self.memo_tag = INVALID_TAG;
+        self.mru_tag = INVALID_TAG;
     }
 }
 

@@ -9,8 +9,75 @@
 //!
 //! All counts are exact (the simulator observes every access), so unlike
 //! sampled hardware counters there is no measurement variance.
+//!
+//! ## Hot-path design (PR 3)
+//!
+//! Counter maintenance sits on the simulator's innermost loop, so two
+//! things are optimized away from the naive implementation while keeping
+//! observable results bit-for-bit identical:
+//!
+//! * **The `TagId` protocol.** Tag names are interned once into a global
+//!   registry ([`TagId::intern`]) at *construction* time (element graphs,
+//!   NIC queues, SPSC queues resolve their tags when they are built).
+//!   Entering a scope by [`CoreCounters::push_tag_id`] is then an O(1)
+//!   table lookup instead of a per-scope linear string search. The
+//!   name-based [`CoreCounters::push_tag`] remains as the slow
+//!   compatibility path. Reported tag *order* is still per-core first-use
+//!   order, so measurement output does not depend on interning order.
+//! * **The pending accumulator.** [`CoreCounters::bump`] no longer writes
+//!   the running total *and* the innermost tag's bundle on every event; it
+//!   accumulates into a single hot `pending` bundle that is flushed to
+//!   both destinations once per scope boundary (push/pop). Reads
+//!   (`total`, `tag`, `snapshot`) fold the pending bundle in on the fly,
+//!   so intermediate observations are exact; only the number of memory
+//!   writes per event changes, never any count.
 
 use crate::types::Cycles;
+use std::sync::{Mutex, OnceLock};
+
+/// The global tag-name registry behind [`TagId`]. Tag sets are tiny (a few
+/// dozen distinct names per process) and interning happens at construction
+/// time, so a mutex-guarded linear scan is plenty.
+static TAG_REGISTRY: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+
+/// A precomputed handle for a function-tag name, resolved once (at element
+/// construction) and then used for O(1) scope entry on the hot path. See
+/// the module docs for the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TagId(u32);
+
+impl TagId {
+    /// Intern `name`, returning its process-wide handle. Idempotent;
+    /// intended to be called once per tag at construction time, not on the
+    /// per-access hot path.
+    pub fn intern(name: &'static str) -> TagId {
+        let reg = TAG_REGISTRY.get_or_init(|| Mutex::new(Vec::new()));
+        let mut names = reg.lock().expect("tag registry poisoned");
+        if let Some(i) =
+            names.iter().position(|&n| std::ptr::eq(n, name) || n == name)
+        {
+            TagId(i as u32)
+        } else {
+            names.push(name);
+            TagId((names.len() - 1) as u32)
+        }
+    }
+
+    /// The interned name.
+    pub fn name(self) -> &'static str {
+        TAG_REGISTRY
+            .get()
+            .expect("TagId exists, so the registry does")
+            .lock()
+            .expect("tag registry poisoned")[self.0 as usize]
+    }
+
+    /// Index usable for table addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// One bundle of event counts. Also used for deltas between snapshots.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -62,6 +129,23 @@ impl Counts {
         }
     }
 
+    /// Elementwise in-place sum (the flush path; avoids a 96-byte copy).
+    #[inline]
+    pub fn accumulate(&mut self, other: &Counts) {
+        self.instructions += other.instructions;
+        self.compute_cycles += other.compute_cycles;
+        self.stall_cycles += other.stall_cycles;
+        self.l1_refs += other.l1_refs;
+        self.l1_hits += other.l1_hits;
+        self.l2_refs += other.l2_refs;
+        self.l2_hits += other.l2_hits;
+        self.l3_refs += other.l3_refs;
+        self.l3_hits += other.l3_hits;
+        self.l3_misses += other.l3_misses;
+        self.remote_accesses += other.remote_accesses;
+        self.packets += other.packets;
+    }
+
     /// Elementwise sum.
     pub fn add(&self, other: &Counts) -> Counts {
         Counts {
@@ -96,16 +180,27 @@ impl Counts {
     }
 }
 
+/// Sentinel in the `TagId` → local-index table: tag not yet seen here.
+const NO_LOCAL: u32 = u32::MAX;
+
 /// Per-core counter state: a running total plus a breakdown by function tag.
 ///
 /// The *current tag* is a small stack so nested scopes attribute to the
 /// innermost tag, mirroring how a profiler attributes samples to the leaf
-/// function.
+/// function. Events accumulate into a `pending` bundle flushed at scope
+/// boundaries; see the module docs for why observable counts are exactly
+/// those of the naive write-both-on-every-event implementation.
 #[derive(Debug, Clone)]
 pub struct CoreCounters {
     total: Counts,
+    /// Events since the last scope boundary, not yet folded into `total`
+    /// and the innermost tag's bundle.
+    pending: Counts,
+    /// Per-tag bundles in first-use order (the reporting order).
     tags: Vec<(&'static str, Counts)>,
-    tag_stack: Vec<usize>,
+    /// `TagId::index()` → index into `tags` (`NO_LOCAL` = not seen yet).
+    by_id: Vec<u32>,
+    tag_stack: Vec<u32>,
 }
 
 impl Default for CoreCounters {
@@ -117,12 +212,18 @@ impl Default for CoreCounters {
 impl CoreCounters {
     /// Fresh counters with no tags registered.
     pub fn new() -> Self {
-        CoreCounters { total: Counts::default(), tags: Vec::new(), tag_stack: Vec::new() }
+        CoreCounters {
+            total: Counts::default(),
+            pending: Counts::default(),
+            tags: Vec::new(),
+            by_id: Vec::new(),
+            tag_stack: Vec::new(),
+        }
     }
 
     fn tag_index(&mut self, name: &'static str) -> usize {
-        // Tag sets are tiny (a handful per element chain); linear scan is
-        // both faster than hashing and deterministic.
+        // Compatibility path: linear scan by name (construction-time code
+        // uses `TagId` handles instead).
         if let Some(i) = self.tags.iter().position(|(n, _)| *n == name) {
             i
         } else {
@@ -131,15 +232,47 @@ impl CoreCounters {
         }
     }
 
+    /// Fold the pending bundle into the total and the innermost tag.
+    #[inline]
+    fn flush(&mut self) {
+        self.total.accumulate(&self.pending);
+        if let Some(&i) = self.tag_stack.last() {
+            self.tags[i as usize].1.accumulate(&self.pending);
+        }
+        self.pending = Counts::default();
+    }
+
     /// Enter a tag scope; accesses are attributed to `name` until the
-    /// matching [`pop_tag`](Self::pop_tag).
+    /// matching [`pop_tag`](Self::pop_tag). Hot code should resolve the
+    /// name once with [`TagId::intern`] and use
+    /// [`push_tag_id`](Self::push_tag_id).
     pub fn push_tag(&mut self, name: &'static str) {
+        self.flush();
         let i = self.tag_index(name);
-        self.tag_stack.push(i);
+        self.tag_stack.push(i as u32);
+    }
+
+    /// Enter a tag scope by precomputed handle: O(1), no string search.
+    #[inline]
+    pub fn push_tag_id(&mut self, tag: TagId) {
+        self.flush();
+        let idx = tag.index();
+        if idx >= self.by_id.len() {
+            self.by_id.resize(idx + 1, NO_LOCAL);
+        }
+        let mut local = self.by_id[idx];
+        if local == NO_LOCAL {
+            // First use on this core: the registry lookup happens once.
+            local = self.tag_index(tag.name()) as u32;
+            self.by_id[idx] = local;
+        }
+        self.tag_stack.push(local);
     }
 
     /// Leave the innermost tag scope.
+    #[inline]
     pub fn pop_tag(&mut self) {
+        self.flush();
         self.tag_stack.pop();
     }
 
@@ -148,23 +281,31 @@ impl CoreCounters {
         self.tag_stack.len()
     }
 
-    /// Apply a mutation to the total and to the current tag's bundle.
+    /// Apply a mutation to the event counts. The mutation lands in the
+    /// pending bundle and is folded into the total and the innermost tag's
+    /// bundle at the next scope boundary (observably equivalent — reads
+    /// fold pending in on the fly).
     #[inline]
-    pub fn bump(&mut self, f: impl Fn(&mut Counts)) {
-        f(&mut self.total);
-        if let Some(&i) = self.tag_stack.last() {
-            f(&mut self.tags[i].1);
-        }
+    pub fn bump(&mut self, f: impl FnOnce(&mut Counts)) {
+        f(&mut self.pending);
     }
 
-    /// The core's running totals.
-    pub fn total(&self) -> &Counts {
-        &self.total
+    /// The core's running totals (pending events included).
+    pub fn total(&self) -> Counts {
+        self.total.add(&self.pending)
     }
 
-    /// Counts attributed to one tag, if it has been seen.
-    pub fn tag(&self, name: &str) -> Option<&Counts> {
-        self.tags.iter().find(|(n, _)| *n == name).map(|(_, c)| c)
+    /// Counts attributed to one tag, if it has been seen (pending events
+    /// included when `name` is the innermost open scope).
+    pub fn tag(&self, name: &str) -> Option<Counts> {
+        self.tags.iter().position(|(n, _)| *n == name).map(|i| {
+            let c = self.tags[i].1;
+            if self.tag_stack.last() == Some(&(i as u32)) {
+                c.add(&self.pending)
+            } else {
+                c
+            }
+        })
     }
 
     /// All tags seen so far, in first-use order.
@@ -172,12 +313,15 @@ impl CoreCounters {
         self.tags.iter().map(|(n, _)| *n)
     }
 
-    /// Snapshot the full state (totals and per-tag bundles).
+    /// Snapshot the full state (totals and per-tag bundles, pending events
+    /// included).
     pub fn snapshot(&self) -> CounterSnapshot {
-        CounterSnapshot {
-            total: self.total,
-            tags: self.tags.iter().map(|(n, c)| (*n, *c)).collect(),
+        let mut tags: Vec<(&'static str, Counts)> =
+            self.tags.iter().map(|(n, c)| (*n, *c)).collect();
+        if let Some(&i) = self.tag_stack.last() {
+            tags[i as usize].1.accumulate(&self.pending);
         }
+        CounterSnapshot { total: self.total.add(&self.pending), tags }
     }
 }
 

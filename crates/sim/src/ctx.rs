@@ -59,9 +59,25 @@ impl<'a> ExecCtx<'a> {
 
     /// A dependent load from `addr`: the core stalls for the full latency.
     /// Returns the latency, mostly for tests and diagnostics.
+    ///
+    /// The overwhelming majority of simulated accesses are L1 hits, so the
+    /// hit case is committed inline by
+    /// [`Machine::l1_hit_fast`] — one SoA tag scan plus one merged counter
+    /// bump — before the out-of-line hierarchy walk is even called. The
+    /// fast path's soundness invariants are documented on `l1_hit_fast`;
+    /// a miss leaves all state untouched and falls through to the slow
+    /// path, whose own L1 stanza then performs the normal miss
+    /// bookkeeping, so counters and cache state are bit-for-bit those of
+    /// the single-path implementation.
     #[inline]
     pub fn read(&mut self, addr: Addr) -> Cycles {
-        let lat = self.machine.demand_access(self.core, addr, AccessKind::Read);
+        if let Some(lat) = self.machine.l1_hit_fast(self.core, addr, false) {
+            return lat;
+        }
+        // The fast probe already established the L1 miss (and changed
+        // nothing), so the slow path resumes after the L1 lookup instead
+        // of re-scanning the set.
+        let lat = self.machine.l1_missed_access(self.core, addr, false);
         let cs = self.machine.core_mut(self.core);
         cs.clock += lat;
         cs.counters.bump(|c| {
@@ -73,9 +89,13 @@ impl<'a> ExecCtx<'a> {
 
     /// A store to `addr`: the core pays only the issue cost (stores drain
     /// through a store buffer), but the hierarchy state fully updates.
+    /// L1 hits take the same inlined fast path as [`read`](Self::read).
     #[inline]
     pub fn write(&mut self, addr: Addr) {
-        let lat = self.machine.demand_access(self.core, addr, AccessKind::Write);
+        if self.machine.l1_hit_fast(self.core, addr, true).is_some() {
+            return;
+        }
+        let lat = self.machine.l1_missed_access(self.core, addr, true);
         let cs = self.machine.core_mut(self.core);
         cs.clock += lat;
         cs.counters.bump(|c| {
@@ -120,6 +140,11 @@ impl<'a> ExecCtx<'a> {
             return;
         }
         let mlp = mlp.clamp(1, self.machine.config().max_mlp) as u64;
+        // Pre-touch every address's set metadata (pure host loads, no
+        // simulated state) so their host-memory latencies overlap before
+        // the serial charging walk — the host-side analogue of the MLP
+        // this call models.
+        std::hint::black_box(self.machine.prewarm_batch(self.core, addrs));
         let mut total: Cycles = 0;
         for &a in addrs {
             total += self.machine.demand_access(self.core, a, AccessKind::Read);
@@ -174,10 +199,34 @@ impl<'a> ExecCtx<'a> {
 
     /// Attribute everything inside `f` to the function tag `name`
     /// (innermost-tag-wins, like a profiler's leaf attribution).
+    ///
+    /// This is the by-name compatibility path (a linear tag search per
+    /// scope); hot callers resolve the name once at construction with
+    /// [`TagId::intern`](crate::counters::TagId::intern) and use
+    /// [`scoped_id`](Self::scoped_id).
     #[inline]
     pub fn scoped<R>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> R) -> R {
         let cs = self.machine.core_mut(self.core);
         cs.counters.push_tag(name);
+        let depth = cs.counters.tag_depth();
+        let r = f(self);
+        let cs = self.machine.core_mut(self.core);
+        debug_assert_eq!(cs.counters.tag_depth(), depth, "unbalanced tag scope");
+        cs.counters.pop_tag();
+        r
+    }
+
+    /// [`scoped`](Self::scoped) with a precomputed
+    /// [`TagId`](crate::counters::TagId): scope entry is an O(1) table
+    /// lookup. Attribution is identical to `scoped(tag.name(), f)`.
+    #[inline]
+    pub fn scoped_id<R>(
+        &mut self,
+        tag: crate::counters::TagId,
+        f: impl FnOnce(&mut Self) -> R,
+    ) -> R {
+        let cs = self.machine.core_mut(self.core);
+        cs.counters.push_tag_id(tag);
         let depth = cs.counters.tag_depth();
         let r = f(self);
         let cs = self.machine.core_mut(self.core);
@@ -196,6 +245,16 @@ impl<'a> ExecCtx<'a> {
     #[inline]
     pub fn retire_packets(&mut self, n: u64) {
         self.machine.core_mut(self.core).counters.bump(|c| c.packets += n);
+    }
+
+    /// Pre-touch the host memory of the L3 set metadata for `addrs` (pure
+    /// loads, no simulated state — results are bit-identical). Callers
+    /// that know a batch of lines they are about to charge (the NIC's
+    /// batched DMA delivery) use this to overlap the host-memory
+    /// latencies the serial charging loop would otherwise pay one by one.
+    #[inline]
+    pub(crate) fn prewarm(&self, addrs: &[Addr]) {
+        std::hint::black_box(self.machine.prewarm_batch(self.core, addrs));
     }
 
     /// NIC DMA delivering a packet for this core's socket at the current
@@ -351,6 +410,62 @@ mod tests {
         let h0 = m.core(CoreId(0)).counters.total().l1_hits;
         let h1 = m.core(CoreId(1)).counters.total().l1_hits;
         assert_eq!(h0 + h1, 0, "ping-pong writes must never hit L1");
+    }
+
+    /// Replay random read/write traces through `ctx.read`/`ctx.write`
+    /// (fast path engaged) and through a hand-rolled replica of the
+    /// historical single-path implementation (`demand_access` + manual
+    /// clock/counter bookkeeping). Every counter, both clocks, and the
+    /// residency of every touched line must match bit for bit — this is
+    /// the in-crate equivalence check that covers the *write* fast path,
+    /// which the cross-crate proptests cannot drive independently.
+    #[test]
+    fn fast_paths_match_historical_single_path_on_random_traces() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut fast = machine();
+        let mut slow = machine();
+        let base = MemDomain(0).base();
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut lines = Vec::new();
+        for _ in 0..4000 {
+            let line = rng.random_range(0..4096u64);
+            lines.push(line);
+            let addr = base + line * 64;
+            let write = rng.random::<bool>();
+            {
+                let mut ctx = fast.ctx(CoreId(0));
+                if write {
+                    ctx.write(addr);
+                } else {
+                    ctx.read(addr);
+                }
+            }
+            {
+                // The pre-fast-path implementation, verbatim.
+                let kind = if write { AccessKind::Write } else { AccessKind::Read };
+                let lat = slow.demand_access(CoreId(0), addr, kind);
+                let cs = slow.core_mut(CoreId(0));
+                cs.clock += lat;
+                cs.counters.bump(|c| {
+                    c.stall_cycles += lat;
+                    c.instructions += 1;
+                });
+            }
+        }
+        assert_eq!(
+            fast.core(CoreId(0)).counters.total(),
+            slow.core(CoreId(0)).counters.total(),
+            "counters must match the historical path bit for bit"
+        );
+        assert_eq!(fast.core(CoreId(0)).clock, slow.core(CoreId(0)).clock);
+        assert_eq!(fast.l1_stats(CoreId(0)), slow.l1_stats(CoreId(0)));
+        assert_eq!(fast.l2_stats(CoreId(0)), slow.l2_stats(CoreId(0)));
+        for &line in &lines {
+            let addr = base + line * 64;
+            assert_eq!(fast.l1_holds(CoreId(0), addr), slow.l1_holds(CoreId(0), addr));
+            assert_eq!(fast.l2_holds(CoreId(0), addr), slow.l2_holds(CoreId(0), addr));
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::counters::{CounterSnapshot, DerivedMetrics};
 use crate::ctx::ExecCtx;
 use crate::machine::Machine;
 use crate::types::{CoreId, Cycles};
+use std::rc::Rc;
 
 /// Outcome of one task turn.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,10 +34,18 @@ pub trait CoreTask {
     fn run_turn(&mut self, ctx: &mut ExecCtx<'_>) -> TurnResult;
 
     /// Human-readable label for reports. Returns a borrowed string so the
-    /// hot engine loop never clones per turn; the engine copies it only
-    /// when building a measurement.
+    /// hot engine loop never clones per turn.
     fn label(&self) -> &str {
         "task"
+    }
+
+    /// Shared handle to the label for measurements. The engine calls this
+    /// once per measured core per window; tasks that keep their label as an
+    /// `Rc<str>` (all the standard flow/stage tasks do) hand out a
+    /// refcount bump with no string allocation at all. The default copies
+    /// [`label`](Self::label) once, which is still outside any hot loop.
+    fn label_shared(&self) -> Rc<str> {
+        Rc::from(self.label())
     }
 }
 
@@ -49,8 +58,9 @@ pub const IDLE_POLL_COST: Cycles = 200;
 pub struct CoreMeasurement {
     /// The core measured.
     pub core: CoreId,
-    /// Task label (empty for idle cores).
-    pub label: String,
+    /// Task label (empty for idle cores). Shared with the task — building
+    /// a measurement does not copy label strings.
+    pub label: Rc<str>,
     /// Counter deltas over the window (totals and per-tag).
     pub counts: CounterSnapshot,
     /// Derived per-second / per-packet metrics.
@@ -122,15 +132,17 @@ impl Engine {
 
     /// Run all tasks until every active core's clock reaches `t_end`.
     pub fn run_until(&mut self, t_end: Cycles) {
+        // The task set cannot change during the run, so resolve the active
+        // cores once instead of filtering all slots every turn.
+        let active: Vec<usize> =
+            (0..self.tasks.len()).filter(|&i| self.tasks[i].is_some()).collect();
         loop {
             // Min-clock-first: pick the active core that is furthest behind.
             let mut best: Option<(usize, Cycles)> = None;
-            for i in 0..self.tasks.len() {
-                if self.tasks[i].is_some() {
-                    let clk = self.machine.core(CoreId(i as u16)).clock;
-                    if clk < t_end && best.map(|(_, b)| clk < b).unwrap_or(true) {
-                        best = Some((i, clk));
-                    }
+            for &i in &active {
+                let clk = self.machine.core(CoreId(i as u16)).clock;
+                if clk < t_end && best.map(|(_, b)| clk < b).unwrap_or(true) {
+                    best = Some((i, clk));
                 }
             }
             let Some((i, before)) = best else { break };
@@ -183,8 +195,8 @@ impl Engine {
                 let metrics = DerivedMetrics::from_counts(&counts.total, window, freq);
                 let label = self.tasks[core.index()]
                     .as_ref()
-                    .map(|t| t.label().to_string())
-                    .unwrap_or_default();
+                    .map(|t| t.label_shared())
+                    .unwrap_or_else(|| Rc::from(""));
                 CoreMeasurement { core, label, counts, metrics }
             })
             .collect();
@@ -290,7 +302,7 @@ mod tests {
         let meas = e.measure(1_000_000, 28_000_000);
         let cm = meas.core(CoreId(0)).expect("core 0 measured");
         assert!(cm.metrics.pps > 0.0);
-        assert_eq!(cm.label, "striding");
+        assert_eq!(&*cm.label, "striding");
         // Each turn is ~54 cycles (L1-hit read + 50 compute), so pps should
         // be in the tens of millions.
         assert!(cm.metrics.pps > 10e6, "pps = {}", cm.metrics.pps);

@@ -46,6 +46,29 @@
 //! Measurement runs attach [`engine::CoreTask`]s (packet-processing flows)
 //! to cores and use [`engine::Engine::measure`] for warmup+window counter
 //! collection, the simulator's equivalent of the paper's OProfile runs.
+//!
+//! ## The simulator's own hot path (PR 3)
+//!
+//! The charging pipeline itself is engineered for wall-clock speed with
+//! bit-for-bit identical simulation results, because simulator throughput
+//! caps how many packets/cores/sweep points every experiment can afford:
+//!
+//! * [`cache::Cache`] stores way metadata structure-of-arrays so a lookup
+//!   scans one compact tag array instead of an array of `Line` structs;
+//! * [`ctx::ExecCtx::read`]/[`write`](ctx::ExecCtx::write) commit L1 hits
+//!   (the overwhelming majority of accesses) through the inlined
+//!   `Machine::l1_hit_fast` without entering the full hierarchy walk — the
+//!   invariants that make the shortcut sound are documented on that
+//!   method;
+//! * function-tag attribution uses interned [`counters::TagId`] handles
+//!   (resolved once at element construction) and a pending-accumulator
+//!   [`counters::CoreCounters`] that flushes once per scope boundary.
+//!
+//! The PR-2-era implementations live on in [`reference`] as executable
+//! specifications; property tests drive old and new through identical
+//! operation traces and require identical hits, misses, evictions,
+//! presence masks, counters, and clocks. `repro perf` (pp-bench) tracks
+//! the resulting simulated-packets-per-wall-second in `BENCH_sim.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,6 +85,7 @@ pub mod machine;
 pub mod memctrl;
 pub mod nic;
 pub mod prefetch;
+pub mod reference;
 pub mod types;
 
 /// Convenient glob-import of the commonly used names.
@@ -69,7 +93,7 @@ pub mod prelude {
     pub use crate::arena::{DomainAllocator, SimRing, SimVec};
     pub use crate::cache::{Cache, CacheStats, LookupResult};
     pub use crate::config::{CacheGeom, MachineConfig};
-    pub use crate::counters::{CounterSnapshot, Counts, DerivedMetrics};
+    pub use crate::counters::{CounterSnapshot, Counts, DerivedMetrics, TagId};
     pub use crate::ctx::ExecCtx;
     pub use crate::engine::{CoreMeasurement, CoreTask, Engine, Measurement, TurnResult};
     pub use crate::interconnect::Interconnect;

@@ -125,6 +125,16 @@ impl Machine {
         &mut self.allocators[domain.index()]
     }
 
+    /// Aggregate statistics of a core's private L1 (diagnostics).
+    pub fn l1_stats(&self, core: CoreId) -> CacheStats {
+        self.l1[core.index()].stats()
+    }
+
+    /// Aggregate statistics of a core's private L2 (diagnostics).
+    pub fn l2_stats(&self, core: CoreId) -> CacheStats {
+        self.l2[core.index()].stats()
+    }
+
     /// Aggregate statistics of a socket's L3.
     pub fn l3_stats(&self, socket: SocketId) -> CacheStats {
         self.l3[socket.index()].stats()
@@ -215,8 +225,76 @@ impl Machine {
         }
     }
 
+    /// Pre-touch the host cache with the L1/L2/L3 set blocks of a batch of
+    /// addresses (see [`Cache::prewarm`]): pure loads, no simulated state,
+    /// bit-identical results. Called by
+    /// [`ExecCtx::read_batch`](crate::ctx::ExecCtx::read_batch), whose
+    /// addresses are known before the serial charging walk begins.
+    #[inline]
+    pub(crate) fn prewarm_batch(&self, core: CoreId, addrs: &[Addr]) -> u64 {
+        let ci = core.index();
+        let si = self.cores[ci].socket.index();
+        // The L1 arrays (8 KB) live in the host L1d — touching them here
+        // would be pure overhead — but the L2 (64 KB) and L3 (megabytes)
+        // set metadata miss it, so their latencies are worth overlapping.
+        let mut acc = 0u64;
+        for &a in addrs {
+            acc ^= self.l2[ci].prewarm(a);
+            acc ^= self.l3[si].prewarm(a);
+        }
+        acc
+    }
+
+    /// The L1-hit fast path (PR 3): commit a demand access entirely — cache
+    /// state, counters, *and* the core clock — iff it hits the core's L1,
+    /// returning the core-visible latency. On a miss nothing changes and
+    /// the caller falls back to [`demand_access`](Self::demand_access),
+    /// which re-runs the L1 lookup with the normal miss bookkeeping.
+    ///
+    /// Why skipping the full walk is sound (the fast path's invariants):
+    ///
+    /// * an L1 hit never trains the L2 stream prefetcher (`prefetch_train`
+    ///   runs only after an L1 miss in the slow path);
+    /// * it causes no fill, eviction, write-back, or back-invalidation at
+    ///   any level, and touches no memory-controller or QPI queue;
+    /// * its latency is a config constant (`lat_l1` / `store_issue_cost`),
+    ///   independent of machine state;
+    /// * private caches carry no presence mask (always zero), so the
+    ///   presence-free [`Cache::hit_update`] performs the complete hit.
+    ///
+    /// Any access that can violate one of these (shared reads/writes with
+    /// their dirty-steal scan, DMA) must keep using the full paths.
+    /// Counter deltas are identical to the slow path's L1-hit stanza: one
+    /// merged bump of `l1_refs`, `l1_hits`, `stall_cycles`, `instructions`.
+    #[inline]
+    pub(crate) fn l1_hit_fast(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        write: bool,
+    ) -> Option<Cycles> {
+        let ci = core.index();
+        if !self.l1[ci].hit_update(addr, write) {
+            return None;
+        }
+        let lat = if write { self.cfg.store_issue_cost } else { self.cfg.lat_l1 };
+        let cs = &mut self.cores[ci];
+        cs.clock += lat;
+        cs.counters.bump(|c| {
+            c.l1_refs += 1;
+            c.l1_hits += 1;
+            c.stall_cycles += lat;
+            c.instructions += 1;
+        });
+        Some(lat)
+    }
+
     /// The demand-access path. Returns the core-visible latency; the caller
     /// (an [`ExecCtx`](crate::ctx::ExecCtx)) advances the core clock.
+    ///
+    /// Counter bumps are merged into one `bump` per exit point (PR-3 audit:
+    /// the pending accumulator makes bump *order* unobservable, so the sums
+    /// are bit-identical to the historical one-bump-per-event sequence).
     pub(crate) fn demand_access(
         &mut self,
         core: CoreId,
@@ -225,43 +303,67 @@ impl Machine {
     ) -> Cycles {
         let ci = core.index();
         let write = matches!(kind, AccessKind::Write);
+        if self.l1[ci].hit_update(addr, write) {
+            self.cores[ci].counters.bump(|c| {
+                c.l1_refs += 1;
+                c.l1_hits += 1;
+            });
+            return if write { self.cfg.store_issue_cost } else { self.cfg.lat_l1 };
+        }
+        self.l1_missed_access(core, addr, write)
+    }
+
+    /// Continue a demand access whose L1 lookup has already been performed
+    /// and missed with state untouched (a failed [`Cache::hit_update`]) —
+    /// the fast path's fallback, also the tail of
+    /// [`demand_access`](Self::demand_access). Records the L1 miss exactly
+    /// as the historical single-pass lookup did, then walks L2 → L3 → the
+    /// home memory controller.
+    pub(crate) fn l1_missed_access(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        write: bool,
+    ) -> Cycles {
+        let ci = core.index();
         let socket = self.cores[ci].socket;
         let si = socket.index();
         let now = self.cores[ci].clock;
 
-        self.cores[ci].counters.bump(|c| c.l1_refs += 1);
-        if self.l1[ci].access(addr, write, 0) == LookupResult::Hit {
-            self.cores[ci].counters.bump(|c| c.l1_hits += 1);
-            return if write { self.cfg.store_issue_cost } else { self.cfg.lat_l1 };
-        }
-
-        self.cores[ci].counters.bump(|c| c.l2_refs += 1);
+        self.l1[ci].record_miss();
         let l2_hit = self.l2[ci].access(addr, false, 0) == LookupResult::Hit;
         // The L2 streamer observes all L2 traffic and may run ahead.
         self.prefetch_train(ci, addr, now);
         if l2_hit {
-            self.cores[ci].counters.bump(|c| c.l2_hits += 1);
             self.fill_l1(ci, addr, write, now);
+            self.cores[ci].counters.bump(|c| {
+                c.l1_refs += 1;
+                c.l2_refs += 1;
+                c.l2_hits += 1;
+            });
             return if write { self.cfg.store_issue_cost } else { self.cfg.lat_l2 };
         }
 
         // This access reaches the shared last-level cache: the paper's
         // "cache reference".
-        self.cores[ci].counters.bump(|c| c.l3_refs += 1);
         let pres = Self::presence_bit(core);
         if self.l3[si].access(addr, false, pres) == LookupResult::Hit {
-            self.cores[ci].counters.bump(|c| c.l3_hits += 1);
             self.fill_l2(ci, addr, now);
             self.fill_l1(ci, addr, write, now);
+            self.cores[ci].counters.bump(|c| {
+                c.l1_refs += 1;
+                c.l2_refs += 1;
+                c.l3_refs += 1;
+                c.l3_hits += 1;
+            });
             return if write { self.cfg.store_issue_cost } else { self.cfg.lat_l3 };
         }
 
         // L3 miss: go to the home memory controller, possibly across QPI.
-        self.cores[ci].counters.bump(|c| c.l3_misses += 1);
         let home = domain_of(addr).home_socket();
         let mut lat = self.cfg.lat_dram();
-        if home != socket {
-            self.cores[ci].counters.bump(|c| c.remote_accesses += 1);
+        let remote = (home != socket) as u64;
+        if remote != 0 {
             lat += self.qpi.transfer(socket, home, now);
         }
         lat += self.memctrl[home.index()].demand_read(now);
@@ -270,11 +372,34 @@ impl Machine {
         self.fill_l3(si, addr, false, pres, now, mask);
         self.fill_l2(ci, addr, now);
         self.fill_l1(ci, addr, write, now);
+        self.cores[ci].counters.bump(|c| {
+            c.l1_refs += 1;
+            c.l2_refs += 1;
+            c.l3_refs += 1;
+            c.l3_misses += 1;
+            c.remote_accesses += remote;
+        });
         if write {
             self.cfg.store_issue_cost
         } else {
             lat
         }
+    }
+
+    /// Union of the L3 directory masks for a line over all sockets. Because
+    /// every L3 is inclusive and every private fill passes through the
+    /// filling core's L3 with its presence bit set, this is a superset of
+    /// the cores whose L1/L2 may hold the line — the coherence paths below
+    /// visit only these cores instead of scanning every private cache
+    /// (bit-identical: invalidating or probing a line that is not resident
+    /// changes nothing, and non-mask cores cannot hold the line).
+    #[inline]
+    fn private_holders(&self, line: Addr) -> u16 {
+        let mut mask = 0u16;
+        for l3 in &self.l3 {
+            mask |= l3.probe_presence(line).unwrap_or(0);
+        }
+        mask
     }
 
     /// Insert into a core's L1, pushing any dirty victim down the hierarchy.
@@ -322,7 +447,13 @@ impl Machine {
         now: Cycles,
         way_mask: u64,
     ) {
-        if let Some(ev) = self.l3[si].insert_masked(addr, dirty, presence, way_mask) {
+        // The unmasked specialization serves the no-CAT common case.
+        let ev = if way_mask == u64::MAX {
+            self.l3[si].insert(addr, dirty, presence)
+        } else {
+            self.l3[si].insert_masked(addr, dirty, presence, way_mask)
+        };
+        if let Some(ev) = ev {
             let mut any_dirty = ev.dirty;
             if ev.presence != 0 {
                 let mut mask = ev.presence;
@@ -365,8 +496,12 @@ impl Machine {
     /// performs a normal store.
     pub(crate) fn shared_write(&mut self, core: CoreId, addr: Addr) -> Cycles {
         let mut penalty = self.steal_dirty_remote(core, addr);
-        for i in 0..self.cores.len() {
-            if i != core.index() {
+        let mut mask =
+            self.private_holders(line_of(addr)) & !Self::presence_bit(core);
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if i < self.cores.len() {
                 self.l1[i].invalidate(addr);
                 self.l2[i].invalidate(addr);
             }
@@ -382,8 +517,12 @@ impl Machine {
     fn steal_dirty_remote(&mut self, core: CoreId, addr: Addr) -> Cycles {
         let me = core.index();
         let mut transferred = false;
-        for i in 0..self.cores.len() {
-            if i == me {
+        let mut mask =
+            self.private_holders(line_of(addr)) & !Self::presence_bit(core);
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if i >= self.cores.len() {
                 continue;
             }
             let dirty_l1 = self.l1[i].probe_dirty(addr) == Some(true);
@@ -417,10 +556,18 @@ impl Machine {
             self.dma_lines += 1;
             // DMA writes are coherent: any stale private-cache copy of the
             // (recycled) buffer line must be invalidated, or the core would
-            // see phantom L1/L2 hits on data the NIC just replaced.
-            for i in 0..self.cores.len() {
-                self.l1[i].invalidate(line);
-                self.l2[i].invalidate(line);
+            // see phantom L1/L2 hits on data the NIC just replaced. Only
+            // cores named in the L3 directory masks can hold a copy (see
+            // `private_holders`), so the sweep visits those instead of
+            // every private cache on the machine.
+            let mut mask = self.private_holders(line);
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if i < self.cores.len() {
+                    self.l1[i].invalidate(line);
+                    self.l2[i].invalidate(line);
+                }
             }
             if self.cfg.dca {
                 if self.l3[si].access(line, true, 0) == LookupResult::Miss {

@@ -13,6 +13,7 @@
 //! cold long enough to be evicted.
 
 use crate::arena::DomainAllocator;
+use crate::counters::TagId;
 use crate::ctx::ExecCtx;
 use crate::types::Addr;
 
@@ -41,6 +42,17 @@ pub struct NicQueue {
     pub tx_count: u64,
     /// RX attempts that failed because the pool was empty.
     pub alloc_failures: u64,
+    /// Byte stride between consecutive pool buffers when uniform (0 when
+    /// irregular): enables O(1) buffer-index recovery in `index_of`.
+    buf_stride: u64,
+    /// Scratch for the batched-DMA prewarm (reused every batch).
+    prewarm_scratch: Vec<Addr>,
+    /// Function-tag handles, interned once at construction (the `TagId`
+    /// protocol: per-packet scope entry never searches by name).
+    t_rx_desc: TagId,
+    t_tx_desc: TagId,
+    t_skb_alloc: TagId,
+    t_skb_recycle: TagId,
 }
 
 impl NicQueue {
@@ -62,6 +74,17 @@ impl NicQueue {
         // LIFO free stack: the most recently recycled buffer (hottest in
         // cache) is reused first, as in Click's per-core pools.
         let free = (0..n_buffers as u32).rev().collect();
+        let buf_stride = if n_buffers >= 2 {
+            let stride = buffers[1] - buffers[0];
+            let uniform = buffers.windows(2).all(|w| w[1] - w[0] == stride);
+            if uniform && stride > 0 {
+                stride
+            } else {
+                0
+            }
+        } else {
+            1.max(buf_bytes)
+        };
         NicQueue {
             rx_ring,
             tx_ring,
@@ -75,6 +98,12 @@ impl NicQueue {
             rx_count: 0,
             tx_count: 0,
             alloc_failures: 0,
+            buf_stride,
+            prewarm_scratch: Vec::new(),
+            t_rx_desc: TagId::intern("rx_desc"),
+            t_tx_desc: TagId::intern("tx_desc"),
+            t_skb_alloc: TagId::intern("skb_alloc"),
+            t_skb_recycle: TagId::intern("skb_recycle"),
         }
     }
 
@@ -98,11 +127,11 @@ impl NicQueue {
     pub fn rx(&mut self, ctx: &mut ExecCtx<'_>, pkt_len: u64) -> Option<Addr> {
         assert!(pkt_len <= self.buf_bytes, "packet larger than buffer");
         let desc = self.rx_ring + (self.next_rx % self.n_desc) * DESC_BYTES;
-        ctx.scoped("rx_desc", |ctx| {
+        ctx.scoped_id(self.t_rx_desc, |ctx| {
             ctx.read(desc);
             ctx.write(desc);
         });
-        let buf_idx = ctx.scoped("skb_alloc", |ctx| {
+        let buf_idx = ctx.scoped_id(self.t_skb_alloc, |ctx| {
             ctx.read(self.freelist_addr);
             let idx = self.free.pop();
             if idx.is_some() {
@@ -160,12 +189,25 @@ impl NicQueue {
                 None => 0,
             };
         }
+        // Pre-touch the L3 set metadata of the buffer lines this batch is
+        // about to DMA (the pop order is the tail of the LIFO free stack).
+        // Pure host loads — charging below is unchanged; this just
+        // overlaps the host-memory latencies of the per-packet
+        // `dma_deliver` walks.
+        {
+            let upcoming = pkt_lens.len().min(self.free.len());
+            self.prewarm_scratch.clear();
+            for &idx in self.free[self.free.len() - upcoming..].iter().rev() {
+                self.prewarm_scratch.push(self.buffers[idx as usize]);
+            }
+            ctx.prewarm(&self.prewarm_scratch);
+        }
         // Free-list head: one read per batch; written back below only if at
         // least one buffer was popped (mirroring the scalar rx's
         // read-then-conditional-write).
         let mut delivered = 0usize;
         let mut last_desc_line = None;
-        ctx.scoped("skb_alloc", |ctx| {
+        ctx.scoped_id(self.t_skb_alloc, |ctx| {
             ctx.read(self.freelist_addr);
         });
         for &pkt_len in pkt_lens {
@@ -173,7 +215,7 @@ impl NicQueue {
             let desc = self.rx_ring + (self.next_rx % self.n_desc) * DESC_BYTES;
             let desc_line = desc / (DESC_BYTES * DESC_PER_LINE);
             if last_desc_line != Some(desc_line) {
-                ctx.scoped("rx_desc", |ctx| {
+                ctx.scoped_id(self.t_rx_desc, |ctx| {
                     ctx.read(desc);
                     ctx.write(desc);
                 });
@@ -191,7 +233,7 @@ impl NicQueue {
             out.push(buf);
         }
         if delivered > 0 {
-            ctx.scoped("skb_alloc", |ctx| {
+            ctx.scoped_id(self.t_skb_alloc, |ctx| {
                 ctx.write(self.freelist_addr);
             });
         }
@@ -213,7 +255,7 @@ impl NicQueue {
             let desc = self.tx_ring + (self.next_tx % self.n_desc) * DESC_BYTES;
             let desc_line = desc / (DESC_BYTES * DESC_PER_LINE);
             if last_desc_line != Some(desc_line) {
-                ctx.scoped("tx_desc", |ctx| {
+                ctx.scoped_id(self.t_tx_desc, |ctx| {
                     ctx.write(desc);
                 });
                 last_desc_line = Some(desc_line);
@@ -224,7 +266,7 @@ impl NicQueue {
             self.next_tx += 1;
             self.tx_count += 1;
         }
-        ctx.scoped("skb_recycle", |ctx| {
+        ctx.scoped_id(self.t_skb_recycle, |ctx| {
             ctx.read(self.freelist_addr);
             ctx.write(self.freelist_addr);
         });
@@ -237,7 +279,7 @@ impl NicQueue {
         if bufs.is_empty() {
             return;
         }
-        ctx.scoped("skb_recycle", |ctx| {
+        ctx.scoped_id(self.t_skb_recycle, |ctx| {
             ctx.read(self.freelist_addr);
             ctx.write(self.freelist_addr);
         });
@@ -249,9 +291,29 @@ impl NicQueue {
     }
 
     /// Host-side index of `buf` in the pool (panics with `msg` when the
-    /// buffer is foreign).
+    /// buffer is foreign). Pool buffers are allocated back to back, so
+    /// when the pool is uniformly strided (checked once at construction)
+    /// the index is arithmetic; the linear scan remains as the fallback
+    /// for irregular pools.
+    // `buf_stride == 0` selects the scan fallback rather than guarding the
+    // division, so `checked_div` would misstate the intent.
+    #[allow(clippy::manual_checked_ops)]
     #[inline]
     fn index_of(&self, buf: Addr, msg: &str) -> u32 {
+        if self.buf_stride != 0 {
+            let base = self.buffers[0];
+            if buf >= base {
+                let off = buf - base;
+                let idx = off / self.buf_stride;
+                if off.is_multiple_of(self.buf_stride)
+                    && (idx as usize) < self.buffers.len()
+                {
+                    debug_assert_eq!(self.buffers[idx as usize], buf);
+                    return idx as u32;
+                }
+            }
+            panic!("{msg}");
+        }
         self.buffers.iter().position(|&b| b == buf).expect(msg) as u32
     }
 
@@ -260,10 +322,10 @@ impl NicQueue {
     #[inline]
     pub fn tx(&mut self, ctx: &mut ExecCtx<'_>, buf: Addr) {
         let desc = self.tx_ring + (self.next_tx % self.n_desc) * DESC_BYTES;
-        ctx.scoped("tx_desc", |ctx| {
+        ctx.scoped_id(self.t_tx_desc, |ctx| {
             ctx.write(desc);
         });
-        ctx.scoped("skb_recycle", |ctx| {
+        ctx.scoped_id(self.t_skb_recycle, |ctx| {
             ctx.read(self.freelist_addr);
             ctx.write(self.freelist_addr);
         });
@@ -280,10 +342,10 @@ impl NicQueue {
     /// cross-core shared data, so it ping-pongs between the two cores.
     pub fn tx_shared(&mut self, ctx: &mut ExecCtx<'_>, buf: Addr) {
         let desc = self.tx_ring + (self.next_tx % self.n_desc) * DESC_BYTES;
-        ctx.scoped("tx_desc", |ctx| {
+        ctx.scoped_id(self.t_tx_desc, |ctx| {
             ctx.write(desc);
         });
-        ctx.scoped("skb_recycle", |ctx| {
+        ctx.scoped_id(self.t_skb_recycle, |ctx| {
             ctx.shared_read(self.freelist_addr);
             ctx.shared_write(self.freelist_addr);
         });
@@ -314,7 +376,7 @@ impl NicQueue {
             let desc = self.tx_ring + (self.next_tx % self.n_desc) * DESC_BYTES;
             let desc_line = desc / (DESC_BYTES * DESC_PER_LINE);
             if last_desc_line != Some(desc_line) {
-                ctx.scoped("tx_desc", |ctx| {
+                ctx.scoped_id(self.t_tx_desc, |ctx| {
                     ctx.write(desc);
                 });
                 last_desc_line = Some(desc_line);
@@ -325,7 +387,7 @@ impl NicQueue {
             self.next_tx += 1;
             self.tx_count += 1;
         }
-        ctx.scoped("skb_recycle", |ctx| {
+        ctx.scoped_id(self.t_skb_recycle, |ctx| {
             ctx.shared_read(self.freelist_addr);
             ctx.shared_write(self.freelist_addr);
         });
@@ -339,7 +401,7 @@ impl NicQueue {
         if bufs.is_empty() {
             return;
         }
-        ctx.scoped("skb_recycle", |ctx| {
+        ctx.scoped_id(self.t_skb_recycle, |ctx| {
             ctx.shared_read(self.freelist_addr);
             ctx.shared_write(self.freelist_addr);
         });
@@ -353,7 +415,7 @@ impl NicQueue {
     /// Recycle without transmitting, as cross-core shared data (pipeline
     /// mode drop path).
     pub fn recycle_shared(&mut self, ctx: &mut ExecCtx<'_>, buf: Addr) {
-        ctx.scoped("skb_recycle", |ctx| {
+        ctx.scoped_id(self.t_skb_recycle, |ctx| {
             ctx.shared_read(self.freelist_addr);
             ctx.shared_write(self.freelist_addr);
         });
@@ -365,7 +427,7 @@ impl NicQueue {
     /// Recycle without transmitting (used when an element drops the packet).
     #[inline]
     pub fn recycle(&mut self, ctx: &mut ExecCtx<'_>, buf: Addr) {
-        ctx.scoped("skb_recycle", |ctx| {
+        ctx.scoped_id(self.t_skb_recycle, |ctx| {
             ctx.read(self.freelist_addr);
             ctx.write(self.freelist_addr);
         });

@@ -123,7 +123,11 @@ pub fn lines_covered(addr: Addr, len: u64) -> u64 {
 
 /// Whether a memory access is a load or a store. Stores are issued through a
 /// store buffer and do not stall the core for the full memory latency.
+///
+/// `#[repr(u8)]` pins the discriminant so the `matches!` in the access path
+/// monomorphizes to a byte compare (PR-3 hot-path audit; see `ctx.rs`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
 pub enum AccessKind {
     /// A load; the issuing core stalls for the returned latency (unless
     /// batched with other independent loads).

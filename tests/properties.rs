@@ -344,6 +344,108 @@ proptest! {
         prop_assert!(c.probe(addr(0)), "protected line evicted by masked fills");
     }
 
+    // ---------------- PR-3 hot-path equivalence ----------------
+
+    /// The SoA cache (with its fast-path machinery: scan memo, MRU hint,
+    /// branchless victim selection) behaves operation-for-operation like
+    /// the preserved PR-2 reference implementation on random traces:
+    /// identical hits, misses, eviction victims, dirty bits, and presence
+    /// masks.
+    #[test]
+    fn cache_matches_reference_on_random_traces(
+        kinds in proptest::collection::vec(0u8..6, 200..1200),
+        lines in proptest::collection::vec(0u64..96, 200..1200),
+        writes in proptest::collection::vec(any::<bool>(), 200..1200),
+        presences in proptest::collection::vec(any::<u16>(), 200..1200),
+    ) {
+        use predictable_pp::sim::cache::{Cache, LookupResult};
+        use predictable_pp::sim::config::CacheGeom;
+        use predictable_pp::sim::reference::RefCache;
+        let geom = CacheGeom::new(2048, 4); // 8 sets x 4 ways
+        let mut live = Cache::new(geom);
+        let mut spec = RefCache::new(geom);
+        for (((&kind, &line), &write), &pres) in kinds
+            .iter()
+            .zip(lines.iter().cycle())
+            .zip(writes.iter().cycle())
+            .zip(presences.iter().cycle())
+        {
+            let addr = line * 64 + (line % 64);
+            match kind {
+                0 | 1 => {
+                    let a = live.access(addr, write, pres);
+                    let b = spec.access(addr, write, pres);
+                    prop_assert_eq!(a, b);
+                    if a == LookupResult::Miss {
+                        prop_assert_eq!(
+                            live.insert(addr, write, pres),
+                            spec.insert(addr, write, pres)
+                        );
+                    }
+                }
+                2 => prop_assert_eq!(live.hit_update(addr, write), spec.hit_update(addr, write)),
+                3 => prop_assert_eq!(live.invalidate(addr), spec.invalidate(addr)),
+                4 => prop_assert_eq!(live.probe_dirty(addr), spec.probe_dirty(addr)),
+                _ => prop_assert_eq!(live.probe(addr), spec.probe(addr)),
+            }
+            prop_assert_eq!(live.stats(), spec.stats());
+            prop_assert_eq!(live.occupancy(), spec.occupancy());
+        }
+    }
+
+    /// `ExecCtx::read`'s inlined L1-hit fast path is charge-identical to
+    /// the plain hierarchy walk: two machines fed the same random access
+    /// trace — one via `read`/`write` (fast path engaged), one via
+    /// `read_batch` with MLP 1 chunks of one (which always takes the full
+    /// `demand_access` walk) — end with identical counters, cache
+    /// residency, and stats.
+    #[test]
+    fn fast_path_matches_full_walk_on_random_traces(
+        lines in proptest::collection::vec(0u64..4096, 100..600),
+        writes in proptest::collection::vec(any::<bool>(), 100..600),
+    ) {
+        use predictable_pp::sim::config::MachineConfig;
+        use predictable_pp::sim::machine::Machine;
+        use predictable_pp::sim::types::{CoreId, MemDomain};
+        let mut fast = Machine::new(MachineConfig::westmere());
+        let mut slow = Machine::new(MachineConfig::westmere());
+        let base = MemDomain(0).base();
+        for (&line, &write) in lines.iter().zip(writes.iter().cycle()) {
+            let addr = base + line * 64;
+            {
+                let mut ctx = fast.ctx(CoreId(0));
+                if write { ctx.write(addr); } else { ctx.read(addr); }
+            }
+            {
+                // One-element read_batch takes the demand_access walk for
+                // reads; writes have no batched variant, so use write()
+                // on both machines (its fast path is the code under test,
+                // exercised against the read-side divergence).
+                let mut ctx = slow.ctx(CoreId(0));
+                if write { ctx.write(addr); } else { ctx.read_batch(&[addr], 1); }
+            }
+        }
+        let cf = fast.core(CoreId(0)).counters.total();
+        let cs = slow.core(CoreId(0)).counters.total();
+        // read() charges differ from read_batch() only in stall/instr
+        // accounting (read_batch floors the stall at 1 cycle per access);
+        // every cache-observable counter must match exactly.
+        prop_assert_eq!(cf.l1_refs, cs.l1_refs);
+        prop_assert_eq!(cf.l1_hits, cs.l1_hits);
+        prop_assert_eq!(cf.l2_refs, cs.l2_refs);
+        prop_assert_eq!(cf.l2_hits, cs.l2_hits);
+        prop_assert_eq!(cf.l3_refs, cs.l3_refs);
+        prop_assert_eq!(cf.l3_hits, cs.l3_hits);
+        prop_assert_eq!(cf.l3_misses, cs.l3_misses);
+        prop_assert_eq!(fast.l1_stats(CoreId(0)), slow.l1_stats(CoreId(0)));
+        prop_assert_eq!(fast.l2_stats(CoreId(0)), slow.l2_stats(CoreId(0)));
+        for &line in &lines {
+            let addr = base + line * 64;
+            prop_assert_eq!(fast.l1_holds(CoreId(0), addr), slow.l1_holds(CoreId(0), addr));
+            prop_assert_eq!(fast.l2_holds(CoreId(0), addr), slow.l2_holds(CoreId(0), addr));
+        }
+    }
+
     // ---------------- stream prefetcher ----------------
 
     /// Prefetch targets always stay inside the training access's 4 KB page
