@@ -21,6 +21,9 @@
 //!   cat        extras   — L3 way-partitioning (isolation vs prediction)
 //!   mixes      extras   — error distribution over random 6-flow mixes
 //!   batch      extras   — vectorized-execution batch-size sweep
+//!   adaptive   extras   — adaptive batch control: latency-budgeted batch
+//!                         choice (model-driven, measurement-verified) +
+//!                         predictor re-validation at batch 64
 //!   perf       extras   — simulator self-benchmark (wall-clock, BENCH_sim.json)
 //!   all        everything above, in order (except perf: wall-dependent)
 //! ```
@@ -37,7 +40,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|pipeline|pipeline-batch|throttle|ablate|extended|cat|mixes|batch|perf|all> \
+        "usage: repro <table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|pipeline|pipeline-batch|throttle|ablate|extended|cat|mixes|batch|adaptive|perf|all> \
          [--quick] [--packets N] [--threads N] [--levels N] [--out DIR]"
     );
     std::process::exit(2);
@@ -158,6 +161,9 @@ fn main() {
         "batch" => {
             experiments::batch::run(&ctx);
         }
+        "adaptive" => {
+            experiments::adaptive::run(&ctx);
+        }
         "perf" => {
             experiments::perf::run(&ctx);
         }
@@ -179,6 +185,7 @@ fn main() {
             experiments::mixes::run_with(&ctx, Some(&ext.predictor));
             experiments::partition::run(&ctx);
             experiments::batch::run(&ctx);
+            experiments::adaptive::run(&ctx);
         }
         _ => usage(),
     }

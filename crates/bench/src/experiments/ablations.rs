@@ -1,4 +1,4 @@
-//! Ablation studies on the design choices DESIGN.md calls out.
+//! Ablation studies on the design choices ARCHITECTURE.md calls out.
 //!
 //! These go beyond the paper's figures: each ablation switches one modeling
 //! or implementation decision and re-measures a contention-sensitive

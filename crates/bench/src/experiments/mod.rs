@@ -3,6 +3,7 @@
 //! studies (new applications, cache partitioning, prediction robustness).
 
 pub mod ablations;
+pub mod adaptive;
 pub mod batch;
 pub mod extended;
 pub mod fig10;

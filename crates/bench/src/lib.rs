@@ -7,7 +7,7 @@
 //!
 //! Every experiment prints the same rows/series the paper reports, writes a
 //! CSV under `results/`, and — where the paper gives concrete numbers —
-//! prints the paper's values alongside for the EXPERIMENTS.md comparison.
+//! prints the paper's values alongside for direct comparison.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -5,8 +5,8 @@
 //! hierarchy. These constants cover only straight-line compute (hashing,
 //! comparisons, checksum math, AES rounds), and were calibrated **once**
 //! against Table 1 of the paper (solo-run cycles/packet and CPI for each
-//! workload); they are never tuned per experiment. EXPERIMENTS.md records
-//! the calibration outcome.
+//! workload); they are never tuned per experiment. `repro table1` prints
+//! the calibration outcome next to the paper's values.
 
 use pp_sim::types::Cycles;
 

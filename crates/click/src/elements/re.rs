@@ -91,7 +91,7 @@ struct FpEntry {
 #[derive(Debug, Clone, Copy)]
 pub struct ReConfig {
     /// log2 of the fingerprint-table slot count (paper: "more than 4
-    /// million entries"; default 2^21 for a 32 MB table — see DESIGN.md on
+    /// million entries"; default 2^21 for a 32 MB table — see ARCHITECTURE.md on
     /// the scale-down, which keeps the table far beyond L3 either way).
     pub log2_fp_slots: u32,
     /// Packet-store capacity in bytes (paper: "1 second's worth of

@@ -150,7 +150,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Element-count specification for [`vec`]: a fixed count or a range.
+    /// Element-count specification for [`vec()`](fn@vec): a fixed count or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

@@ -13,9 +13,20 @@
 //!    stays within its tolerance;
 //! 3. "how many more X tenants fit?" is a monotone search over 2.
 //!
+//! Formally, placement `S = {f_1..f_n}` with SLA limits `L_i` is admitted
+//! iff for every flow `i`:
+//!
+//! `curve_{f_i}(Σ_{j≠i} r_j) ≤ L_i`
+//!
+//! where `r_j` is flow `j`'s solo refs/sec — the predictor's formula
+//! applied once per flow, with the rest of the socket as its competitors.
+//!
 //! Prediction uses the paper's refs/sec method by default; switch to the
 //! fill-rate refinement (see [`Predictor`]) when hot-spot workloads (DPI,
-//! CLASS) are in the mix.
+//! CLASS) are in the mix. Throughput SLAs are one half of a viable
+//! placement; the other half — per-flow latency budgets resolved to batch
+//! sizes — is [`plan_socket`](crate::batch_control::plan_socket), which
+//! combines this controller with the adaptive batch controller.
 
 use crate::predictor::Predictor;
 use crate::workload::FlowType;

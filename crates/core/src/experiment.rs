@@ -39,6 +39,12 @@ pub struct ExpParams {
     pub scale: Scale,
     /// Master seed; per-flow seeds are derived deterministically.
     pub seed: u64,
+    /// Packets per engine turn for every flow in the scenario: 0 runs the
+    /// scalar datapath (the paper's configuration and the default), n ≥ 1
+    /// runs the batched datapath with n-packet vectors. Profiling at
+    /// `batch_size > 0` is how the contention predictor is re-validated
+    /// under batching (see [`crate::batch_control`]).
+    pub batch_size: usize,
 }
 
 impl ExpParams {
@@ -49,12 +55,21 @@ impl ExpParams {
     /// packets per sweep point and visibly smooths the Fig. 5/7 curves.
     /// `repro --packets N` overrides this knob for any size.
     pub fn paper() -> Self {
-        ExpParams { warmup_ms: 8.0, window_ms: 30.0, scale: Scale::Paper, seed: 42 }
+        ExpParams { warmup_ms: 8.0, window_ms: 30.0, scale: Scale::Paper, seed: 42, batch_size: 0 }
     }
 
     /// Fast test-scale measurement (used by unit/integration tests).
     pub fn quick() -> Self {
-        ExpParams { warmup_ms: 1.0, window_ms: 3.0, scale: Scale::Test, seed: 42 }
+        ExpParams { warmup_ms: 1.0, window_ms: 3.0, scale: Scale::Test, seed: 42, batch_size: 0 }
+    }
+
+    /// Run every flow of the scenario on the batched datapath with
+    /// `batch`-packet vectors (0 restores the scalar path). Solo profiles,
+    /// SYN ramps, and co-runs measured with the same `batch` compare like
+    /// with like — the batched analogue of the paper's methodology.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch_size = batch;
+        self
     }
 
     /// Resize the measurement window so a scalar flow covers roughly
@@ -107,6 +122,43 @@ pub struct Scenario {
     pub params: ExpParams,
 }
 
+/// Per-packet residence-time percentiles over a measurement window, read
+/// back from the flow's [`LatencyHistogram`](pp_sim::latency::LatencyHistogram)
+/// after warmup is discarded. This is the latency-budget read-back the
+/// adaptive batch controller verifies its decisions against: `repro
+/// adaptive` asserts the achieved `p99_us` of a controller-chosen batch
+/// stays within the declared budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySummary {
+    /// Median ingress→egress time, microseconds of simulated time.
+    pub p50_us: f64,
+    /// 95th percentile, microseconds.
+    pub p95_us: f64,
+    /// 99th percentile, microseconds.
+    pub p99_us: f64,
+    /// Mean, microseconds.
+    pub mean_us: f64,
+    /// Samples recorded in the window (one per completed packet).
+    pub samples: u64,
+}
+
+impl LatencySummary {
+    /// Summarize a histogram at a given core frequency.
+    pub fn from_histogram(
+        h: &pp_sim::latency::LatencyHistogram,
+        freq_ghz: f64,
+    ) -> Self {
+        let us = |cycles: Cycles| cycles as f64 / (freq_ghz * 1e3);
+        LatencySummary {
+            p50_us: us(h.p50()),
+            p95_us: us(h.p95()),
+            p99_us: us(h.p99()),
+            mean_us: h.mean() / (freq_ghz * 1e3),
+            samples: h.count(),
+        }
+    }
+}
+
 /// Per-flow measurement output.
 #[derive(Debug, Clone)]
 pub struct FlowResult {
@@ -122,6 +174,8 @@ pub struct FlowResult {
     pub tags: Vec<(&'static str, Counts)>,
     /// Bytes of simulated memory this flow's structures occupy.
     pub working_set_bytes: u64,
+    /// Ingress→egress residence-time percentiles over the window.
+    pub latency: LatencySummary,
 }
 
 /// A scenario's complete measurement.
@@ -185,6 +239,7 @@ pub fn run_scenario(s: &Scenario) -> ScenarioResult {
             s.params.scale,
             flow_seed(s.params.seed, i),
             p.flow.structure_seed(s.params.seed),
+            s.params.batch_size,
         );
         let after = machine.allocator(p.domain).used();
         built.push((*p, b, after - before));
@@ -192,16 +247,25 @@ pub fn run_scenario(s: &Scenario) -> ScenarioResult {
     let mut engine = Engine::new(machine);
     let mut placements = Vec::with_capacity(built.len());
     for (p, b, ws) in built {
+        let lat = b.task.latency_handle();
         engine.set_task(p.core, Box::new(b.task));
-        placements.push((p, ws));
+        placements.push((p, ws, lat));
     }
     let warmup = s.params.warmup_cycles(engine.machine.config());
     let window = s.params.window_cycles(engine.machine.config());
-    let meas = engine.measure(warmup, window);
+    // Warm up, discard the warmup's latency samples (histogram recording is
+    // host-side and charge-free, so this leaves every counter bit-for-bit
+    // as `engine.measure(warmup, window)` would), then measure the window.
+    engine.run_until(warmup);
+    for (_, _, lat) in &placements {
+        lat.borrow_mut().reset();
+    }
+    let meas = engine.measure(0, window);
+    let freq_ghz = engine.machine.config().freq_ghz;
 
     let flows = placements
         .iter()
-        .map(|(p, ws)| {
+        .map(|(p, ws, lat)| {
             let cm = meas.core(p.core).expect("flow core measured");
             FlowResult {
                 core: p.core,
@@ -210,6 +274,7 @@ pub fn run_scenario(s: &Scenario) -> ScenarioResult {
                 counts: cm.counts.total,
                 tags: cm.counts.tags.clone(),
                 working_set_bytes: *ws,
+                latency: LatencySummary::from_histogram(&lat.borrow(), freq_ghz),
             }
         })
         .collect();

@@ -21,10 +21,16 @@
 //!   only ~2% for realistic mixes (Fig. 10).
 //! * **Containment** ([`throttle`]) — monitoring + control-element
 //!   feedback that clamps a flow to its profiled refs/sec (§4).
+//! * **Adaptive batch control** ([`batch_control`]) — beyond the paper:
+//!   the closed loop that picks each flow's datapath batch size from the
+//!   fitted `F/b + p` (+ `C/b + S·ceil(b/L)/b` for pipelines) cost models
+//!   subject to a p99 latency budget, verifies the decision against the
+//!   measured latency histogram, and re-validates the contention predictor
+//!   on the batched datapath (`repro adaptive`).
 //!
 //! The measurement substrate is `pp-sim` (a deterministic multicore
-//! simulator) with workloads from `pp-click`; see DESIGN.md at the
-//! repository root for the full substitution argument.
+//! simulator) with workloads from `pp-click`; see ARCHITECTURE.md at the
+//! repository root for the crate map and charging-model invariants.
 //!
 //! ## Example: predict a mix you never measured
 //!
@@ -52,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod batch_control;
 pub mod experiment;
 pub mod model;
 pub mod persist;
@@ -66,10 +73,15 @@ pub mod workload;
 /// Glob-import of the commonly used names.
 pub mod prelude {
     pub use crate::admission::{AdmissionController, AdmissionDecision, FlowVerdict, Sla};
+    pub use crate::batch_control::{
+        plan_socket, revalidate_predictor, BatchChoice, BatchController, BatchProbe,
+        ControlAction, LatencyBudget, Revalidation, SocketPlan, VerifiedChoice,
+        CANDIDATE_BATCHES,
+    };
     pub use crate::experiment::{
         corun_against_solo, corun_scenario, default_threads, run_corun, run_many,
         run_scenario, solo_scenario, ContentionConfig, CoRunOutcome, ExpParams,
-        FlowPlacement, FlowResult, Scenario, ScenarioResult,
+        FlowPlacement, FlowResult, LatencySummary, Scenario, ScenarioResult,
     };
     pub use crate::model::{
         eq1_drop, worst_case_drop, BatchAmortization, CacheModel, CrossCoreHandoff,

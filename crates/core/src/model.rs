@@ -1,6 +1,18 @@
-//! The paper's analytical models: Equation 1 (worst-case drop from solo
-//! hits/sec, Fig. 6) and the Appendix A probabilistic cache-sharing model
-//! for the hit→miss conversion-rate shape (Fig. 7).
+//! The analytical models: the paper's Equation 1 (worst-case drop from
+//! solo hits/sec, Fig. 6) and Appendix A probabilistic cache-sharing model
+//! for the hit→miss conversion-rate shape (Fig. 7), plus the two batching
+//! cost models this reproduction adds for its vectorized datapath:
+//!
+//! | model | formula | fitted from | used by |
+//! |---|---|---|---|
+//! | [`eq1_drop`] | `drop = 1 / (1 + 1/(δ·κ·h))` | closed form | `repro fig6` |
+//! | [`CacheModel`] | `P(hit) = pt / (1 − (1−pev)(1−pt))` | closed form | `repro fig7` |
+//! | [`BatchAmortization`] | `cycles/pkt(b) = F/b + p` | 2 batch sizes | `repro batch`, [`batch_control`](crate::batch_control) |
+//! | [`CrossCoreHandoff`] | `handoff/pkt(b) = C/b + S·⌈b/L⌉/b` | 2 burst sizes | `repro pipeline-batch`, [`batch_control`](crate::batch_control) |
+//!
+//! The batching models are *fitted*, not assumed: the sweeps measure the
+//! ladder endpoints, solve for the parameters, and report interpolation
+//! error at the interior sizes (the doc-tests below pin the fit shape).
 
 /// Equation 1: the drop (fraction, 0..1) of a flow that achieves `h`
 /// hits/sec solo, suffers hit→miss conversion rate `kappa`, with `delta`
@@ -77,7 +89,34 @@ impl CacheModel {
 /// `p` — the shape the `repro batch` experiment measures and the NFV
 /// dataplane-benchmarking literature reports for VPP-style vector
 /// processing. The predictor uses it to translate a flow's measured
-/// per-packet cost at one batch size to another.
+/// per-packet cost at one batch size to another, and the adaptive batch
+/// controller ([`crate::batch_control`]) turns it into latency-budgeted
+/// batch choices.
+///
+/// The two-point fit recovers the parameters exactly and interpolates the
+/// full hyperbola — measure the ladder endpoints, predict everything
+/// between:
+///
+/// ```
+/// use pp_core::model::BatchAmortization;
+///
+/// // Ground truth: F = 620 cycles/batch, p = 300 cycles/packet. The fit
+/// // sees only the two endpoint measurements c(1) = 920, c(64) = 309.6875.
+/// let fit = BatchAmortization::fit((1.0, 920.0), (64.0, 620.0 / 64.0 + 300.0));
+/// assert!((fit.per_batch_cycles - 620.0).abs() < 1e-9);
+/// assert!((fit.per_packet_cycles - 300.0).abs() < 1e-9);
+///
+/// // Interior sizes follow the F/b + p hyperbola exactly...
+/// assert!((fit.cycles_per_packet(8.0) - (620.0 / 8.0 + 300.0)).abs() < 1e-9);
+/// // ...which is strictly decreasing and floored by p,
+/// let ladder = [1.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+/// assert!(ladder.windows(2).all(|w| {
+///     fit.cycles_per_packet(w[1]) < fit.cycles_per_packet(w[0])
+/// }));
+/// assert!(fit.cycles_per_packet(1e9) > fit.per_packet_cycles);
+/// // ...so the asymptotic speedup is c(1)/p.
+/// assert!((fit.max_speedup() - 920.0 / 300.0).abs() < 1e-9);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct BatchAmortization {
     /// Fixed per-batch framework cycles (`F`).
@@ -143,6 +182,31 @@ impl BatchAmortization {
 /// which equals `C + S` at `b = 1` (the scalar pipeline) and falls to
 /// `S / L` as the burst grows — strictly decreasing over power-of-two burst
 /// sizes, the shape `repro pipeline-batch` asserts.
+///
+/// Like [`BatchAmortization`], the model is a two-point fit that pins the
+/// whole curve — including the `⌈b/L⌉` staircase the line packing causes:
+///
+/// ```
+/// use pp_core::model::CrossCoreHandoff;
+///
+/// // Ground truth: C = 400 control cycles/burst, S = 120 cycles per slot
+/// // line, L = 4 slots/line. Fit from b = 1 (pays C + S = 520) and b = 64.
+/// let h64 = 400.0 / 64.0 + 120.0 * (64.0f64 / 4.0).ceil() / 64.0;
+/// let fit = CrossCoreHandoff::fit(4.0, (1.0, 520.0), (64.0, h64));
+/// assert!((fit.control_cycles_per_burst - 400.0).abs() < 1e-6);
+/// assert!((fit.slot_line_cycles - 120.0).abs() < 1e-6);
+///
+/// // Interior power-of-two bursts interpolate exactly: a burst of 8 moves
+/// // ceil(8/4) = 2 slot lines, so pays 400/8 + 120*2/8 = 80 cycles/packet.
+/// assert!((fit.cycles_per_packet(8.0) - 80.0).abs() < 1e-6);
+/// // The curve is strictly decreasing over the swept ladder and floored by
+/// // the one-line-per-L-packets asymptote S/L.
+/// let ladder = [1.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+/// assert!(ladder.windows(2).all(|w| {
+///     fit.cycles_per_packet(w[1]) < fit.cycles_per_packet(w[0])
+/// }));
+/// assert!(fit.cycles_per_packet(1e6) >= 120.0 / 4.0);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct CrossCoreHandoff {
     /// Control-line cycles per burst (`C`): queue_op compute plus the

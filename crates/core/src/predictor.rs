@@ -10,10 +10,23 @@
 //! 3. Predict the target's drop under any mix as the curve value at
 //!    `Σ r_i` over its co-runners.
 //!
+//! Formally, with `curve_T` the target's measured drop-vs-competition
+//! curve and `r_i` competitor `i`'s solo L3 refs/sec:
+//!
+//! `predicted_drop(T, {c_1..c_n}) = curve_T(Σ_i r_i)`
+//!
 //! The *perfect-knowledge* variant (Fig. 8b) replaces `Σ r_i` with the
 //! competitors' refs/sec as actually measured during the contended run,
 //! isolating the error contributed by assumption 2 (solo refs/sec
 //! overestimate contended refs/sec).
+//!
+//! Both the paper and this reproduction land all errors below 3 pp on the
+//! scalar datapath (`repro fig8`/`fig9`), and the claim is re-established
+//! on the *batched* datapath at batch 64 by
+//! [`revalidate_predictor`](crate::batch_control::revalidate_predictor)
+//! (`repro adaptive`): batching rescales every per-packet cost, but the
+//! sensitivity mechanism — drop as a function of competing refs/sec — is
+//! unchanged.
 //!
 //! ## The fill-rate refinement (beyond the paper)
 //!

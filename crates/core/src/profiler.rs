@@ -1,5 +1,23 @@
 //! Offline profiling: the solo-run characteristics of Table 1, plus the
 //! working-set figures the analytical model needs.
+//!
+//! Everything derives from one deterministic solo window of `W` cycles at
+//! frequency `f` in which the flow retires `P` packets, `I` instructions,
+//! and `R`/`H`/`M` L3 references/hits/misses:
+//!
+//! * `pps = P·f/W`, `cpi = W/I`, `cycles/packet = W/P`
+//! * `l3_refs_per_sec = R·f/W` — the paper's *aggressiveness* measure
+//!   (what a flow contributes to Σ r_i in the prediction formula)
+//! * `l3_hits_per_sec = H·f/W` — the paper's *sensitivity* measure (what
+//!   a flow stands to lose; Eq. 1 bounds the damage from its conversion)
+//! * `misses/sec = M·f/W = fills/sec` — the eviction pressure the
+//!   fill-rate prediction refinement keys on
+//!
+//! Profiles are measured by [`SoloProfile::measure`] on a fresh simulated
+//! machine; with [`ExpParams::with_batch`](crate::experiment::ExpParams)
+//! the same profiling runs on the batched datapath, which is how the
+//! adaptive batch controller calibrates and how the predictor is
+//! re-validated under batching.
 
 use crate::experiment::{run_many, run_scenario, solo_scenario, ExpParams, FlowResult};
 use crate::workload::FlowType;

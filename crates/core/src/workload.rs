@@ -121,7 +121,9 @@ impl FlowType {
         build_flow(machine, domain, &self.spec(scale, seed))
     }
 
-    /// Build with an explicit structure seed (shared across instances).
+    /// Build with an explicit structure seed (shared across instances) and
+    /// datapath batch size (0 = the scalar path, n ≥ 1 = n-packet vectors;
+    /// see [`FlowSpec::batch_size`](pp_click::pipelines::FlowSpec)).
     pub fn build_with_structure(
         &self,
         machine: &mut Machine,
@@ -129,9 +131,11 @@ impl FlowType {
         scale: Scale,
         seed: u64,
         structure_seed: u64,
+        batch_size: usize,
     ) -> BuiltFlow {
         let mut spec = self.spec(scale, seed);
         spec.structure_seed = structure_seed;
+        spec.batch_size = batch_size;
         build_flow(machine, domain, &spec)
     }
 }

@@ -25,7 +25,7 @@
 //! spread over five) and a packed `meta` array carrying LRU stamp,
 //! presence mask, and dirty bit in one word, both indexed
 //! `set * ways + way`. Validity is encoded as a tag sentinel
-//! ([`INVALID_TAG`], unreachable for real addresses because tags are
+//! (`INVALID_TAG`, unreachable for real addresses because tags are
 //! `line_addr >> 6` ≤ 2^58), so the scan needs no separate valid check.
 //!
 //! The implementation techniques, all policed for exactness by the
@@ -117,7 +117,7 @@ fn meta_pack(lru: u64, presence: u16, dirty: bool) -> u64 {
 /// One level of cache. See the module docs for the SoA layout.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    /// Per-way tags (`line_addr >> 6`; [`INVALID_TAG`] = way empty),
+    /// Per-way tags (`line_addr >> 6`; `INVALID_TAG` = way empty),
     /// indexed `set * ways + way`. The hot lookup scans only this array —
     /// one or two contiguous host cache lines per set.
     tags: Vec<u64>,

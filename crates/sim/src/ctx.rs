@@ -62,7 +62,7 @@ impl<'a> ExecCtx<'a> {
     ///
     /// The overwhelming majority of simulated accesses are L1 hits, so the
     /// hit case is committed inline by
-    /// [`Machine::l1_hit_fast`] — one SoA tag scan plus one merged counter
+    /// `Machine::l1_hit_fast` — one SoA tag scan plus one merged counter
     /// bump — before the out-of-line hierarchy walk is even called. The
     /// fast path's soundness invariants are documented on `l1_hit_fast`;
     /// a miss leaves all state untouched and falls through to the slow

@@ -6,7 +6,8 @@
 //! packet, or one batch for synthetic workloads). This keeps cross-core
 //! clock skew bounded by a single turn's duration, so accesses from
 //! different cores interleave in nearly timestamp order at the shared L3 and
-//! memory controllers — the approximation DESIGN.md §2 documents.
+//! memory controllers — the approximation ARCHITECTURE.md ("charging-model
+//! invariants") documents.
 
 use crate::counters::{CounterSnapshot, DerivedMetrics};
 use crate::ctx::ExecCtx;

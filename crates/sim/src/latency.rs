@@ -244,6 +244,96 @@ mod tests {
         assert_eq!(h.percentile(100.0), u64::MAX);
     }
 
+    /// The adaptive batch controller divides by and compares against these
+    /// values; a single sample must produce exact, self-consistent
+    /// percentiles (a probe window can be one turn long at huge batches).
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(4_242);
+        assert_eq!(h.count(), 1);
+        for p in [0.0, 1.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(
+                h.percentile(p),
+                4_242,
+                "every percentile of a one-sample histogram is that sample (p{p})"
+            );
+        }
+        assert_eq!(h.min(), 4_242);
+        assert_eq!(h.max(), 4_242);
+        assert_eq!(h.mean(), 4_242.0);
+    }
+
+    #[test]
+    fn zero_percentile_is_bounded_by_the_minimum() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        // p0 resolves to the first non-empty bucket: never below min,
+        // never above p100.
+        assert!(h.percentile(0.0) >= h.min());
+        assert!(h.percentile(0.0) <= h.percentile(100.0));
+    }
+
+    /// Saturation at the top bucket: the last octave's upper edge exceeds
+    /// `u64::MAX`, so its representative must clamp — and the reported
+    /// percentile must additionally clamp to the observed max rather than
+    /// the bucket edge (decisions read these values as real cycle counts).
+    #[test]
+    fn top_bucket_saturates_at_observed_max() {
+        let mut h = LatencyHistogram::new();
+        let near_top = u64::MAX - (u64::MAX >> 8); // deep in the last octave
+        for _ in 0..100 {
+            h.record(near_top);
+        }
+        // Every percentile is capped at the observed max, not the (clamped)
+        // bucket upper edge above it.
+        assert_eq!(h.percentile(50.0), near_top.max(h.min()));
+        assert_eq!(h.percentile(99.0), near_top);
+        assert_eq!(h.percentile(100.0), near_top);
+        // Mixing in the absolute extremes keeps ordering and bounds.
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.p50() <= h.p99());
+        assert_eq!(h.percentile(100.0), u64::MAX);
+    }
+
+    #[test]
+    fn samples_in_the_same_top_bucket_do_not_lose_counts() {
+        // Two distinguishable extreme values that land in the same bucket:
+        // counts must sum (saturation may merge values, never samples).
+        let mut h = LatencyHistogram::new();
+        let a = u64::MAX;
+        let b = u64::MAX - 1; // same bucket at this resolution
+        h.record(a);
+        h.record(b);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), a);
+        assert_eq!(h.min(), b);
+        assert_eq!(h.mean(), (a as f64 + b as f64) / 2.0);
+    }
+
+    #[test]
+    fn merge_with_empty_preserves_min_and_emptiness_semantics() {
+        let mut a = LatencyHistogram::new();
+        a.record(500);
+        let empty = LatencyHistogram::new();
+        // Merging an empty histogram must not clobber min with the
+        // empty-side sentinel.
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), 500);
+        // And merging *into* an empty histogram adopts the other side.
+        let mut e = LatencyHistogram::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.min(), 500);
+        assert_eq!(e.max(), 500);
+    }
+
     #[test]
     fn reset_clears_and_merge_combines() {
         let mut a = LatencyHistogram::new();

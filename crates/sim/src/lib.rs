@@ -64,7 +64,7 @@
 //!   (resolved once at element construction) and a pending-accumulator
 //!   [`counters::CoreCounters`] that flushes once per scope boundary.
 //!
-//! The PR-2-era implementations live on in [`reference`] as executable
+//! The PR-2-era implementations live on in [`mod@reference`] as executable
 //! specifications; property tests drive old and new through identical
 //! operation traces and require identical hits, misses, evictions,
 //! presence masks, counters, and clocks. `repro perf` (pp-bench) tracks

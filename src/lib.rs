@@ -29,8 +29,9 @@
 //! ```
 //!
 //! Regenerate every table and figure of the paper with
-//! `cargo run --release -p pp-bench --bin repro -- all`; see DESIGN.md for
-//! the system inventory and EXPERIMENTS.md for paper-vs-measured results.
+//! `cargo run --release -p pp-bench --bin repro -- all`; see ARCHITECTURE.md
+//! for the crate map and charging-model invariants, and crates/bench/README.md
+//! for every `repro` subcommand.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
