@@ -1,0 +1,114 @@
+//! Criterion microbenchmarks of the **lockstep charging engine** vs the
+//! production serial walk (`ExecCtx::read_batch_lockstep` vs
+//! `ExecCtx::read_batch`), isolated from packet machinery.
+//!
+//! Scenarios bracket the engine's design space so future PRs can see the
+//! crossover point:
+//!
+//! * `hits_disjoint` — 64 sequential lines, all L1-resident after warmup,
+//!   pairwise-disjoint sets at every level (the probe pass's best case);
+//! * `hits_colliding` — 64 lines forced into one L1 set cohort (stride =
+//!   one L1 way span), so commits interleave within shared sets;
+//! * `l3_stream` — a rotating window over an L2-busting region: most
+//!   probes descend to the (12 MB, host-cache-cold) L3 metadata, the
+//!   latency the level-major probe exists to overlap;
+//! * `duplicates` — one hot line repeated 64×: the duplicate-detection
+//!   path plus canonical in-commit walks.
+//!
+//! Each scenario runs through both paths; results are identical (that is
+//! property-tested elsewhere) — only wall time differs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pp_sim::config::MachineConfig;
+use pp_sim::machine::Machine;
+use pp_sim::types::{Addr, CoreId, MemDomain};
+use std::hint::black_box;
+
+const BATCH: usize = 64;
+const MLP: u32 = 8;
+
+/// Sequential lines: pairwise-disjoint sets at L1 (64 sets), L2, and L3.
+fn disjoint_addrs(base: Addr) -> Vec<Addr> {
+    (0..BATCH as u64).map(|i| base + i * 64).collect()
+}
+
+/// One L1-set cohort: stride of 64 lines puts every address in L1 set 0
+/// (and every 8th in the same L2 set).
+fn colliding_addrs(base: Addr) -> Vec<Addr> {
+    (0..BATCH as u64).map(|i| base + i * 64 * 64).collect()
+}
+
+/// One hot line, repeated.
+fn duplicate_addrs(base: Addr) -> Vec<Addr> {
+    vec![base; BATCH]
+}
+
+fn bench_batch(
+    c: &mut Criterion,
+    group: &str,
+    mk_addrs: impl Fn(Addr) -> Vec<Addr>,
+    rotate: bool,
+) {
+    let mut g = c.benchmark_group(group);
+    for (name, lockstep) in [("lockstep", true), ("serial", false)] {
+        g.bench_function(name, |b| {
+            let mut m = Machine::new(MachineConfig::westmere());
+            let base = MemDomain(0).base();
+            // Region >> L2 so the rotating variants keep missing into L3.
+            let region_lines: u64 = 1 << 15; // 2 MiB
+            let mut offset = 0u64;
+            let addrs = mk_addrs(base);
+            // Warm up the static variants so they measure the hit path.
+            if !rotate {
+                let mut ctx = m.ctx(CoreId(0));
+                ctx.read_batch(&addrs, MLP);
+                ctx.read_batch(&addrs, MLP);
+            }
+            let mut rotated: Vec<Addr> = addrs.clone();
+            b.iter(|| {
+                let batch: &[Addr] = if rotate {
+                    offset = (offset + BATCH as u64) % region_lines;
+                    rotated.clear();
+                    rotated.extend(addrs.iter().map(|&a| a + offset * 64));
+                    &rotated
+                } else {
+                    &addrs
+                };
+                let mut ctx = m.ctx(CoreId(0));
+                if lockstep {
+                    ctx.read_batch_lockstep(batch, MLP);
+                } else {
+                    ctx.read_batch(batch, MLP);
+                }
+                black_box(ctx.now())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_hits_disjoint(c: &mut Criterion) {
+    bench_batch(c, "charge_hits_disjoint", disjoint_addrs, false);
+}
+
+fn bench_hits_colliding(c: &mut Criterion) {
+    bench_batch(c, "charge_hits_colliding", colliding_addrs, false);
+}
+
+fn bench_l3_stream(c: &mut Criterion) {
+    bench_batch(c, "charge_l3_stream", disjoint_addrs, true);
+}
+
+fn bench_duplicates(c: &mut Criterion) {
+    bench_batch(c, "charge_duplicates", duplicate_addrs, false);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(300))
+        .warm_up_time(std::time::Duration::from_millis(50));
+    targets = bench_hits_disjoint, bench_hits_colliding, bench_l3_stream,
+        bench_duplicates
+}
+criterion_main!(benches);

@@ -10,9 +10,10 @@
 //! * **kpps(wall)** — simulated packets retired per wall second,
 //! * **Maccess/s(wall)** — simulated L1 references per wall second (the raw
 //!   speed of the charging pipeline), and
-//! * the speedup against the checked-in pre-optimization baseline
-//!   (`baselines/sim_perf_baseline.txt`, captured before the PR-3 hot-path
-//!   overhaul: SoA cache ways, L1-hit fast path, `TagId` counters).
+//! * the speedup of both quantities against the checked-in baseline
+//!   (`baselines/sim_perf_baseline.txt`, refreshed in PR 5 on the
+//!   post-pooling/post-shortcut pipeline; its optional fifth column added
+//!   the accesses-per-wall-sec figure, reported as a delta but not gated).
 //!
 //! Results land in `BENCH_sim.json` (machine-readable, uploaded as a CI
 //! artifact). When a baseline entry exists for a measured point, the run
@@ -123,9 +124,24 @@ fn baseline_path() -> &'static str {
     concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/sim_perf_baseline.txt")
 }
 
-/// Parse the baseline file: lines of `<scale> <workload> <batch> <pps>`.
-/// Missing file or malformed lines are tolerated (no baseline, no gate).
-fn load_baseline() -> Vec<(String, String, usize, f64)> {
+/// One baseline entry: scale key, workload, batch, packets/wall-sec, and
+/// (in baselines refreshed since PR 5) accesses/wall-sec.
+#[derive(Debug, Clone)]
+struct BaselineEntry {
+    scale: String,
+    workload: String,
+    batch: usize,
+    pps: f64,
+    /// Accesses per wall second; `None` for pre-PR-5 baseline files whose
+    /// lines carry only the throughput column.
+    aps: Option<f64>,
+}
+
+/// Parse the baseline file: lines of `<scale> <workload> <batch> <pps>
+/// [<accesses-per-wall-sec>]` (the last column is optional for
+/// backward compatibility). Missing file or malformed lines are tolerated
+/// (no baseline, no gate).
+fn load_baseline() -> Vec<BaselineEntry> {
     let Ok(text) = std::fs::read_to_string(baseline_path()) else {
         return Vec::new();
     };
@@ -133,12 +149,13 @@ fn load_baseline() -> Vec<(String, String, usize, f64)> {
         .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
         .filter_map(|l| {
             let mut it = l.split_whitespace();
-            Some((
-                it.next()?.to_string(),
-                it.next()?.to_string(),
-                it.next()?.parse().ok()?,
-                it.next()?.parse().ok()?,
-            ))
+            Some(BaselineEntry {
+                scale: it.next()?.to_string(),
+                workload: it.next()?.to_string(),
+                batch: it.next()?.parse().ok()?,
+                pps: it.next()?.parse().ok()?,
+                aps: it.next().and_then(|v| v.parse().ok()),
+            })
         })
         .collect()
 }
@@ -158,11 +175,10 @@ pub fn run(ctx: &RunCtx) {
     let params = ctx.params;
     let skey = scale_key(params.scale);
     let baseline = load_baseline();
-    let base_for = |flow: &FlowType, batch: usize| -> Option<f64> {
+    let base_for = |flow: &FlowType, batch: usize| -> Option<&BaselineEntry> {
         baseline
             .iter()
-            .find(|(s, w, b, _)| s == skey && *w == flow.name() && *b == batch)
-            .map(|(_, _, _, pps)| *pps)
+            .find(|e| e.scale == skey && e.workload == flow.name() && e.batch == batch)
     };
 
     // Wall-clock points must run sequentially on an unloaded process —
@@ -185,13 +201,17 @@ pub fn run(ctx: &RunCtx) {
             "Maccess/s (wall)",
             "baseline kpps",
             "speedup",
+            "baseline Macc/s",
+            "acc speedup",
         ],
     );
     let mut failures = Vec::new();
     let mut json_points = Vec::new();
     for p in &points {
         let base = base_for(&p.flow, p.batch);
-        let speedup = base.map(|b| p.pkts_per_wall_sec / b);
+        let speedup = base.map(|b| p.pkts_per_wall_sec / b.pps);
+        let base_aps = base.and_then(|b| b.aps);
+        let acc_speedup = base_aps.map(|a| p.accesses_per_wall_sec / a);
         if let (Some(b), Some(s)) = (base, speedup) {
             if s < min_ratio() {
                 failures.push(format!(
@@ -199,7 +219,7 @@ pub fn run(ctx: &RunCtx) {
                     p.flow.name(),
                     p.batch,
                     p.pkts_per_wall_sec,
-                    b,
+                    b.pps,
                     s,
                     min_ratio()
                 ));
@@ -212,15 +232,19 @@ pub fn run(ctx: &RunCtx) {
             fmt_f(p.wall_secs * 1e3, 1),
             fmt_f(p.pkts_per_wall_sec / 1e3, 1),
             fmt_f(p.accesses_per_wall_sec / 1e6, 1),
-            base.map(|b| fmt_f(b / 1e3, 1)).unwrap_or_else(|| "-".into()),
+            base.map(|b| fmt_f(b.pps / 1e3, 1)).unwrap_or_else(|| "-".into()),
             speedup.map(|s| fmt_f(s, 2)).unwrap_or_else(|| "-".into()),
+            base_aps.map(|a| fmt_f(a / 1e6, 1)).unwrap_or_else(|| "-".into()),
+            acc_speedup.map(|s| fmt_f(s, 2)).unwrap_or_else(|| "-".into()),
         ]);
         json_points.push(format!(
             concat!(
                 "    {{\"workload\": \"{}\", \"batch\": {}, \"sim_packets\": {}, ",
                 "\"wall_secs\": {:.6}, \"pkts_per_wall_sec\": {:.1}, ",
                 "\"accesses_per_wall_sec\": {:.1}, ",
-                "\"baseline_pkts_per_wall_sec\": {}, \"speedup_vs_baseline\": {}}}"
+                "\"baseline_pkts_per_wall_sec\": {}, \"speedup_vs_baseline\": {}, ",
+                "\"baseline_accesses_per_wall_sec\": {}, ",
+                "\"accesses_speedup_vs_baseline\": {}}}"
             ),
             p.flow.name(),
             p.batch,
@@ -228,8 +252,10 @@ pub fn run(ctx: &RunCtx) {
             p.wall_secs,
             p.pkts_per_wall_sec,
             p.accesses_per_wall_sec,
-            base.map(|b| format!("{b:.1}")).unwrap_or_else(|| "null".into()),
+            base.map(|b| format!("{:.1}", b.pps)).unwrap_or_else(|| "null".into()),
             speedup.map(|s| format!("{s:.3}")).unwrap_or_else(|| "null".into()),
+            base_aps.map(|a| format!("{a:.1}")).unwrap_or_else(|| "null".into()),
+            acc_speedup.map(|s| format!("{s:.3}")).unwrap_or_else(|| "null".into()),
         ));
     }
     ctx.emit("perf", &table);
@@ -254,7 +280,7 @@ pub fn run(ctx: &RunCtx) {
         }
         std::process::exit(1);
     }
-    if baseline.iter().any(|(s, _, _, _)| s == skey) {
+    if baseline.iter().any(|e| e.scale == skey) {
         println!(
             "[perf gate passed: no point below {:.0}% of baseline]",
             min_ratio() * 100.0
@@ -281,10 +307,13 @@ mod tests {
         // The real file may be absent in some checkouts; the parser itself
         // is exercised through load_baseline's format on a scratch file.
         let parsed = load_baseline();
-        for (s, _, b, pps) in parsed {
-            assert!(s == "quick" || s == "paper");
-            assert!(b >= 1);
-            assert!(pps > 0.0);
+        for e in parsed {
+            assert!(e.scale == "quick" || e.scale == "paper");
+            assert!(e.batch >= 1);
+            assert!(e.pps > 0.0);
+            if let Some(aps) = e.aps {
+                assert!(aps > e.pps, "several accesses per packet");
+            }
         }
     }
 }

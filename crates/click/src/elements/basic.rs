@@ -25,6 +25,8 @@ use std::rc::Rc;
 /// "almost never evicted by competitors".
 pub struct CheckIpHeader {
     cost: CostModel,
+    /// Scratch header addresses for the batched path (reused every batch).
+    addrs: Vec<Addr>,
     /// Packets that passed validation.
     pub ok: u64,
     /// Packets dropped as invalid.
@@ -34,7 +36,7 @@ pub struct CheckIpHeader {
 impl CheckIpHeader {
     /// Build with a cost model.
     pub fn new(cost: CostModel) -> Self {
-        CheckIpHeader { cost, ok: 0, bad: 0 }
+        CheckIpHeader { cost, addrs: Vec::new(), ok: 0, bad: 0 }
     }
 
     /// Host-side validation (the real checks; no simulated charges).
@@ -95,9 +97,9 @@ impl Element for CheckIpHeader {
         // The header lines of distinct packets are independent loads: issue
         // them with lookahead so the DCA-delivered lines stream in
         // overlapped, then charge the validation compute once, hoisted.
-        let addrs: Vec<Addr> =
-            pkts.iter().filter(|p| p.buf_addr != 0).map(|p| p.buf_addr).collect();
-        ctx.read_batch(&addrs, BATCH_MLP);
+        self.addrs.clear();
+        self.addrs.extend(pkts.iter().filter(|p| p.buf_addr != 0).map(|p| p.buf_addr));
+        ctx.read_batch(&self.addrs, BATCH_MLP);
         CostModel::charge_n(ctx, self.cost.check_ip_header, pkts.len() as u64);
         for pkt in pkts.iter() {
             let valid = Self::validate(pkt);
@@ -112,6 +114,8 @@ impl Element for CheckIpHeader {
 /// the header expensive).
 pub struct DecIpTtl {
     cost: CostModel,
+    /// Scratch header addresses for the batched path (reused every batch).
+    addrs: Vec<Addr>,
     /// Packets dropped because the TTL expired.
     pub expired: u64,
 }
@@ -119,7 +123,7 @@ pub struct DecIpTtl {
 impl DecIpTtl {
     /// Build with a cost model.
     pub fn new(cost: CostModel) -> Self {
-        DecIpTtl { cost, expired: 0 }
+        DecIpTtl { cost, addrs: Vec::new(), expired: 0 }
     }
 }
 
@@ -163,13 +167,12 @@ impl Element for DecIpTtl {
         // Overlap the independent header-line loads across the vector; the
         // dirtying writes stay per packet (stores drain through the store
         // buffer, so they are already cheap).
-        let addrs: Vec<Addr> = pkts
-            .iter()
-            .filter(|p| p.buf_addr != 0)
-            .map(|p| p.buf_addr + p.l3_offset() as u64)
-            .collect();
-        ctx.read_batch(&addrs, BATCH_MLP);
-        for &a in &addrs {
+        self.addrs.clear();
+        self.addrs.extend(
+            pkts.iter().filter(|p| p.buf_addr != 0).map(|p| p.buf_addr + p.l3_offset() as u64),
+        );
+        ctx.read_batch(&self.addrs, BATCH_MLP);
+        for &a in &self.addrs {
             ctx.write(a);
         }
         CostModel::charge_n(ctx, self.cost.dec_ttl, pkts.len() as u64);
@@ -192,6 +195,8 @@ impl Element for DecIpTtl {
 pub struct ToDevice {
     nic: Rc<RefCell<NicQueue>>,
     shared: bool,
+    /// Scratch buffer addresses for the batched path (reused every batch).
+    bufs: Vec<Addr>,
     /// Packets transmitted.
     pub sent: u64,
 }
@@ -199,7 +204,7 @@ pub struct ToDevice {
 impl ToDevice {
     /// Transmit into `nic`; `shared` marks cross-core recycling.
     pub fn new(nic: Rc<RefCell<NicQueue>>, shared: bool) -> Self {
-        ToDevice { nic, shared, sent: 0 }
+        ToDevice { nic, shared, bufs: Vec::new(), sent: 0 }
     }
 }
 
@@ -242,14 +247,14 @@ impl Element for ToDevice {
         // and one NIC borrow per batch instead of one per packet. In
         // pipeline mode the free list is still cross-core shared data, but
         // the ping-pong is paid once per burst (`tx_shared_batch`).
-        let bufs: Vec<Addr> =
-            pkts.iter().filter(|p| p.buf_addr != 0).map(|p| p.buf_addr).collect();
-        if !bufs.is_empty() {
+        self.bufs.clear();
+        self.bufs.extend(pkts.iter().filter(|p| p.buf_addr != 0).map(|p| p.buf_addr));
+        if !self.bufs.is_empty() {
             let mut nic = self.nic.borrow_mut();
             if self.shared {
-                nic.tx_shared_batch(ctx, &bufs);
+                nic.tx_shared_batch(ctx, &self.bufs);
             } else {
-                nic.tx_batch(ctx, &bufs);
+                nic.tx_batch(ctx, &self.bufs);
             }
         }
         for pkt in pkts.iter_mut() {

@@ -326,14 +326,36 @@ impl BinaryRadixTrie {
         dsts: &[u32],
         mlp: u32,
     ) -> Vec<(Option<u32>, u32)> {
+        let mut scratch = LookupScratch::default();
+        let mut out = Vec::with_capacity(dsts.len());
+        self.lookup_batch_into(ctx, dsts, mlp, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`lookup_batch`](Self::lookup_batch) with caller-owned scratch and
+    /// output buffers, so a steady-state element walks whole vectors with
+    /// zero heap allocation (the allocating wrapper above is for one-off
+    /// callers and tests). Results are appended to `out` (cleared first).
+    pub fn lookup_batch_into(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        dsts: &[u32],
+        mlp: u32,
+        scratch: &mut LookupScratch,
+        out: &mut Vec<(Option<u32>, u32)>,
+    ) {
         let n = dsts.len();
-        // Per-lane walk state.
-        let mut cur = vec![0usize; n];
-        let mut best = vec![0u32; n];
-        let mut levels = vec![0u32; n];
-        let mut alive: Vec<usize> = (0..n).collect();
-        let mut addrs: Vec<u64> = Vec::with_capacity(n);
-        let mut next_alive: Vec<usize> = Vec::with_capacity(n);
+        // Per-lane walk state (reused across calls).
+        let LookupScratch { cur, best, levels, alive, next_alive, addrs } = scratch;
+        cur.clear();
+        cur.resize(n, 0usize);
+        best.clear();
+        best.resize(n, 0u32);
+        levels.clear();
+        levels.resize(n, 0u32);
+        alive.clear();
+        alive.extend(0..n);
+        next_alive.clear();
         for depth in 0..=32u32 {
             if alive.is_empty() {
                 break;
@@ -348,8 +370,8 @@ impl BinaryRadixTrie {
             addrs.clear();
             next_alive.clear();
             let mut next_touch = 0u32;
-            for &l in &alive {
-                push_covering_lines(&mut addrs, self.nodes.addr_of(cur[l]), self.nodes.stride());
+            for &l in alive.iter() {
+                push_covering_lines(addrs, self.nodes.addr_of(cur[l]), self.nodes.stride());
                 let node = *self.nodes.peek(cur[l]);
                 levels[l] += 1;
                 if node[2] != 0 {
@@ -367,29 +389,28 @@ impl BinaryRadixTrie {
                 }
             }
             std::hint::black_box(next_touch);
-            ctx.read_batch(&addrs, mlp);
-            std::mem::swap(&mut alive, &mut next_alive);
+            ctx.read_batch(addrs, mlp);
+            std::mem::swap(alive, next_alive);
         }
         // Final dependent reads: the matched route entries, overlapped.
         addrs.clear();
         for &b in best.iter().filter(|&&b| b != 0) {
             push_covering_lines(
-                &mut addrs,
+                addrs,
                 self.routes.addr_of(leaf_hop(b) as usize),
                 self.routes.stride(),
             );
         }
-        ctx.read_batch(&addrs, mlp);
-        (0..n)
-            .map(|l| {
-                if best[l] != 0 {
-                    let route = self.routes.peek(leaf_hop(best[l]) as usize);
-                    (Some(route[0]), levels[l] + 1)
-                } else {
-                    (None, levels[l])
-                }
-            })
-            .collect()
+        ctx.read_batch(addrs, mlp);
+        out.clear();
+        out.extend((0..n).map(|l| {
+            if best[l] != 0 {
+                let route = self.routes.peek(leaf_hop(best[l]) as usize);
+                (Some(route[0]), levels[l] + 1)
+            } else {
+                (None, levels[l])
+            }
+        }));
     }
 
     /// Longest-prefix match with simulated charging: one dependent node
@@ -452,9 +473,32 @@ impl BinaryRadixTrie {
 /// The `RadixIPLookup` element: full longest-prefix-match per packet using
 /// the binary radix trie (Click-faithful). Packets with no route are
 /// dropped.
+/// Reusable per-lane walk state for
+/// [`BinaryRadixTrie::lookup_batch_into`] (host-side only; holding it in
+/// the element makes steady-state batched lookups allocation-free).
+#[derive(Debug, Default)]
+pub struct LookupScratch {
+    cur: Vec<usize>,
+    best: Vec<u32>,
+    levels: Vec<u32>,
+    alive: Vec<usize>,
+    next_alive: Vec<usize>,
+    addrs: Vec<u64>,
+}
+
+/// `RadixIPLookup`: longest-prefix match through the binary radix trie
+/// (the paper's IP workload core; Fig. 7's `radix_ip_lookup` function).
 pub struct RadixIpLookup {
     trie: BinaryRadixTrie,
     cost: CostModel,
+    /// Batched-walk scratch (reused every batch).
+    scratch: LookupScratch,
+    /// Scratch header addresses (reused every batch).
+    hdrs: Vec<u64>,
+    /// Scratch destinations / lane maps / results (reused every batch).
+    dsts: Vec<u32>,
+    lanes: Vec<usize>,
+    results: Vec<(Option<u32>, u32)>,
     /// Successful lookups.
     pub found: u64,
     /// Lookups with no matching route (packet dropped).
@@ -469,6 +513,11 @@ impl RadixIpLookup {
         RadixIpLookup {
             trie: BinaryRadixTrie::build(alloc, prefixes),
             cost,
+            scratch: LookupScratch::default(),
+            hdrs: Vec::new(),
+            dsts: Vec::new(),
+            lanes: Vec::new(),
+            results: Vec::new(),
             found: 0,
             no_route: 0,
             levels_total: 0,
@@ -537,29 +586,30 @@ impl Element for RadixIpLookup {
             return;
         }
         // Header touches for the whole vector, overlapped.
-        let hdrs: Vec<u64> = pkts
-            .iter()
-            .filter(|p| p.buf_addr != 0)
-            .map(|p| p.buf_addr + p.l3_offset() as u64 + 16)
-            .collect();
-        ctx.read_batch(&hdrs, BATCH_MLP);
+        self.hdrs.clear();
+        self.hdrs.extend(
+            pkts.iter().filter(|p| p.buf_addr != 0).map(|p| p.buf_addr + p.l3_offset() as u64 + 16),
+        );
+        ctx.read_batch(&self.hdrs, BATCH_MLP);
         // Parse destinations host-side; unparsable packets drop as in the
         // scalar path, the rest walk the trie level-synchronously.
-        let mut dsts = Vec::with_capacity(pkts.len());
-        let mut lanes = Vec::with_capacity(pkts.len());
+        self.dsts.clear();
+        self.lanes.clear();
         for (i, pkt) in pkts.iter().enumerate() {
             if let Ok(ip) = pkt.ipv4() {
-                dsts.push(u32::from(ip.dst));
-                lanes.push(i);
+                self.dsts.push(u32::from(ip.dst));
+                self.lanes.push(i);
             }
         }
-        let results = self.trie.lookup_batch(ctx, &dsts, BATCH_MLP);
+        self.trie
+            .lookup_batch_into(ctx, &self.dsts, BATCH_MLP, &mut self.scratch, &mut self.results);
         let mut total_levels = 0u64;
-        let mut verdicts = vec![Action::Drop; pkts.len()];
-        for (&lane, (hop, levels)) in lanes.iter().zip(results) {
+        let verdict_base = actions.len();
+        actions.resize(verdict_base + pkts.len(), Action::Drop);
+        for (&lane, &(hop, levels)) in self.lanes.iter().zip(self.results.iter()) {
             total_levels += levels as u64;
             self.levels_total += levels as u64;
-            verdicts[lane] = match hop {
+            actions[verdict_base + lane] = match hop {
                 Some(_) => {
                     self.found += 1;
                     Action::Out(0)
@@ -572,7 +622,6 @@ impl Element for RadixIpLookup {
         }
         CostModel::charge(ctx, (self.cost.lookup_step.0 * total_levels,
                                 self.cost.lookup_step.1 * total_levels));
-        actions.extend(verdicts);
     }
 }
 

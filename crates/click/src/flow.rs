@@ -37,10 +37,10 @@
 
 use crate::cost::CostModel;
 use crate::elements::queue::SpscQueue;
-use crate::graph::{ElementGraph, GraphOutcome};
-use pp_net::batch::PacketBatch;
+use crate::graph::{BatchOutcome, ElementGraph, GraphOutcome};
 use pp_net::gen::traffic::TrafficGen;
 use pp_net::packet::Packet;
+use pp_net::pool::PacketPool;
 use pp_sim::arena::DomainAllocator;
 use pp_sim::counters::TagId;
 use pp_sim::ctx::ExecCtx;
@@ -107,6 +107,14 @@ pub struct FlowTask {
     lens: Vec<u64>,
     /// Scratch buffer addresses for the batched receive (reused).
     bufs: Vec<Addr>,
+    /// Host-side packet-carcass pool: completed packets return their frame
+    /// allocations here and the generator refills them in place, so the
+    /// warmed-up flow performs zero per-packet heap allocation (PR 5).
+    pool: PacketPool,
+    /// Scratch packet vector for the batched turn (reused).
+    pkts: Vec<Packet>,
+    /// Reusable batch outcome (its vectors retain their allocations).
+    outcome: BatchOutcome,
     /// Per-packet ingress→egress simulated cycles (shared handle; see
     /// [`latency_handle`](Self::latency_handle)).
     latency: Rc<RefCell<LatencyHistogram>>,
@@ -137,10 +145,19 @@ impl FlowTask {
             batch_size: 0,
             lens: Vec::new(),
             bufs: Vec::new(),
+            pool: PacketPool::new(),
+            pkts: Vec::new(),
+            outcome: BatchOutcome::default(),
             latency: Rc::new(RefCell::new(LatencyHistogram::new())),
             processed: 0,
             rx_failures: 0,
         }
+    }
+
+    /// Carcasses recycled through the host-side packet pool so far
+    /// (diagnostic: a warmed-up flow should reuse nearly every take).
+    pub fn pool_reuses(&self) -> u64 {
+        self.pool.reuses
     }
 
     /// Shared handle to the per-packet latency histogram (clone it before
@@ -195,8 +212,10 @@ impl FlowTask {
         // packet: residence time covers the packet's own processing.
         let ingress = ctx.now();
         // The wire always has a packet waiting (the paper's generators run
-        // at line rate); generation itself is host-side and free.
-        let mut pkt = self.gen.next_packet();
+        // at line rate); generation itself is host-side and free — and
+        // refills a recycled carcass, so it allocates nothing.
+        let mut pkt = self.pool.take();
+        self.gen.next_packet_into(&mut pkt);
         CostModel::charge(ctx, self.cost.per_packet_overhead);
         if let Some(churn) = &mut self.churn {
             churn.touch(ctx);
@@ -204,15 +223,21 @@ impl FlowTask {
         let buf = self.nic.borrow_mut().rx(ctx, pkt.len() as u64);
         let Some(buf) = buf else {
             self.rx_failures += 1;
+            self.pool.put(pkt);
             return TurnResult::Progress; // time advanced by the failed rx
         };
         pkt.buf_addr = buf;
         match self.graph.run(ctx, pkt) {
-            GraphOutcome::Consumed => {}
+            GraphOutcome::Consumed => {
+                if let Some(p) = self.graph.take_consumed() {
+                    self.pool.put(p);
+                }
+            }
             GraphOutcome::Returned(p) => {
                 if p.buf_addr != 0 {
                     self.nic.borrow_mut().recycle(ctx, p.buf_addr);
                 }
+                self.pool.put(p);
             }
         }
         self.processed += 1;
@@ -224,7 +249,9 @@ impl FlowTask {
     /// One batched turn: receive a vector in one `rx_batch`, run the graph
     /// once per element per batch, recycle all returned buffers in one
     /// `recycle_batch`. The NIC is borrowed twice per *batch* (receive and
-    /// recycle) instead of twice per packet.
+    /// recycle) instead of twice per packet, and every host container —
+    /// the packet vector, the outcome, and the packet carcasses themselves
+    /// — is recycled across turns (zero steady-state allocation).
     fn run_turn_batched(&mut self, ctx: &mut ExecCtx<'_>) -> TurnResult {
         let n = self.batch_size;
         // The whole vector arrived by the start of the turn; see the
@@ -240,36 +267,46 @@ impl FlowTask {
             // re-referenced across the vector (I-cache amortization).
             churn.touch(ctx);
         }
-        let mut pkts: Vec<Packet> = Vec::with_capacity(n);
+        self.pkts.clear();
         self.lens.clear();
         for _ in 0..n {
-            let pkt = self.gen.next_packet();
+            let mut pkt = self.pool.take();
+            self.gen.next_packet_into(&mut pkt);
             self.lens.push(pkt.len() as u64);
-            pkts.push(pkt);
+            self.pkts.push(pkt);
         }
         self.bufs.clear();
         let delivered = self.nic.borrow_mut().rx_batch(ctx, &self.lens, &mut self.bufs);
         self.rx_failures += (n - delivered) as u64;
         if delivered == 0 {
+            self.pool.put_all(&mut self.pkts);
             return TurnResult::Progress; // time advanced by the failed rx
         }
-        pkts.truncate(delivered); // partial batch: undelivered tail is lost
-        for (pkt, &buf) in pkts.iter_mut().zip(self.bufs.iter()) {
+        // Partial batch: the undelivered tail is lost (carcasses recycle).
+        while self.pkts.len() > delivered {
+            let p = self.pkts.pop().expect("len checked");
+            self.pool.put(p);
+        }
+        for (pkt, &buf) in self.pkts.iter_mut().zip(self.bufs.iter()) {
             pkt.buf_addr = buf;
         }
-        let outcome = self.graph.run_batch(ctx, PacketBatch::from_packets(pkts));
+        self.graph.run_batch_into(ctx, &mut self.pkts, &mut self.outcome);
         self.bufs.clear();
         self.bufs.extend(
-            outcome
+            self.outcome
                 .returned
                 .iter()
-                .chain(outcome.dropped.iter())
+                .chain(self.outcome.dropped.iter())
                 .map(|p| p.buf_addr)
                 .filter(|&a| a != 0),
         );
         if !self.bufs.is_empty() {
             self.nic.borrow_mut().recycle_batch(ctx, &self.bufs);
         }
+        // Every completed packet's carcass goes back to the pool.
+        self.pool.put_all(&mut self.outcome.returned);
+        self.pool.put_all(&mut self.outcome.dropped);
+        self.pool.put_all(&mut self.outcome.carcasses);
         self.processed += delivered as u64;
         ctx.retire_packets(delivered as u64);
         // Every packet of the burst was received together and completes
@@ -319,6 +356,15 @@ pub struct SourceStage {
     lens: Vec<u64>,
     /// Scratch buffer addresses for the batched receive (reused).
     bufs: Vec<Addr>,
+    /// Host-side carcass pool. Shared with the paired [`SinkStage`] (see
+    /// [`pool_handle`](Self::pool_handle)): the sink returns completed
+    /// packets' frame allocations here and the generator refills them,
+    /// mirroring §2.2's cross-core buffer recycling on the host side.
+    pool: Rc<RefCell<PacketPool>>,
+    /// Scratch packet vector for the burst turn (reused).
+    pkts: Vec<Packet>,
+    /// Reusable batch outcome for the front chain.
+    outcome: BatchOutcome,
     /// Packets handed to the next stage.
     pub forwarded: u64,
     /// Turns skipped because the queue was full.
@@ -346,6 +392,9 @@ impl SourceStage {
             batch_size: 0,
             lens: Vec::new(),
             bufs: Vec::new(),
+            pool: Rc::new(RefCell::new(PacketPool::new())),
+            pkts: Vec::new(),
+            outcome: BatchOutcome::default(),
             forwarded: 0,
             stalls: 0,
         }
@@ -355,6 +404,14 @@ impl SourceStage {
     pub fn with_churn(mut self, churn: FrameworkChurn) -> Self {
         self.churn = Some(churn);
         self
+    }
+
+    /// Shared handle to this stage's host-side carcass pool; hand it to
+    /// the paired [`SinkStage::share_pool`] so completed packets' frame
+    /// allocations flow back to the generator (the standard builders in
+    /// [`crate::pipelines`] do this).
+    pub fn pool_handle(&self) -> Rc<RefCell<PacketPool>> {
+        self.pool.clone()
     }
 
     /// Switch to burst handoff with up to `batch` packets per engine turn
@@ -378,7 +435,8 @@ impl SourceStage {
         // guarantees this is ≤ every other core's clock, so the sink's
         // egress reading is always causally after it.
         let ingress = ctx.now();
-        let mut pkt = self.gen.next_packet();
+        let mut pkt = self.pool.borrow_mut().take();
+        self.gen.next_packet_into(&mut pkt);
         CostModel::charge(ctx, self.cost.per_packet_overhead);
         if let Some(churn) = &mut self.churn {
             churn.touch(ctx);
@@ -388,6 +446,7 @@ impl SourceStage {
             nic.rx(ctx, pkt.len() as u64)
         };
         let Some(buf) = buf else {
+            self.pool.borrow_mut().put(pkt);
             return TurnResult::Progress;
         };
         pkt.buf_addr = buf;
@@ -399,7 +458,11 @@ impl SourceStage {
             self.graph.run(ctx, pkt)
         };
         match outcome {
-            GraphOutcome::Consumed => {}
+            GraphOutcome::Consumed => {
+                if let Some(p) = self.graph.take_consumed() {
+                    self.pool.borrow_mut().put(p);
+                }
+            }
             GraphOutcome::Returned(p) => {
                 // A front-chain drop ends the packet here: recycle locally
                 // instead of forwarding it downstream.
@@ -407,6 +470,7 @@ impl SourceStage {
                     if p.buf_addr != 0 {
                         self.nic.borrow_mut().recycle(ctx, p.buf_addr);
                     }
+                    self.pool.borrow_mut().put(p);
                     return TurnResult::Progress;
                 }
                 let mut q = self.out.borrow_mut();
@@ -415,6 +479,7 @@ impl SourceStage {
                     if rejected.buf_addr != 0 {
                         self.nic.borrow_mut().recycle(ctx, rejected.buf_addr);
                     }
+                    self.pool.borrow_mut().put(rejected);
                     self.stalls += 1;
                     return TurnResult::Progress;
                 }
@@ -445,30 +510,43 @@ impl SourceStage {
         if let Some(churn) = &mut self.churn {
             churn.touch(ctx);
         }
-        let mut pkts: Vec<Packet> = Vec::with_capacity(n);
+        self.pkts.clear();
         self.lens.clear();
-        for _ in 0..n {
-            let pkt = self.gen.next_packet();
-            self.lens.push(pkt.len() as u64);
-            pkts.push(pkt);
+        {
+            let mut pool = self.pool.borrow_mut();
+            for _ in 0..n {
+                let mut pkt = pool.take();
+                self.gen.next_packet_into(&mut pkt);
+                self.lens.push(pkt.len() as u64);
+                self.pkts.push(pkt);
+            }
         }
         self.bufs.clear();
         let delivered = self.nic.borrow_mut().rx_batch(ctx, &self.lens, &mut self.bufs);
         if delivered == 0 {
+            self.pool.borrow_mut().put_all(&mut self.pkts);
             return TurnResult::Progress; // time advanced by the failed rx
         }
-        pkts.truncate(delivered); // partial batch: pool-starved tail is lost
-        for (pkt, &buf) in pkts.iter_mut().zip(self.bufs.iter()) {
+        // Partial batch: the pool-starved tail is lost (carcasses recycle).
+        {
+            let mut pool = self.pool.borrow_mut();
+            while self.pkts.len() > delivered {
+                let p = self.pkts.pop().expect("len checked");
+                pool.put(p);
+            }
+        }
+        for (pkt, &buf) in self.pkts.iter_mut().zip(self.bufs.iter()) {
             pkt.buf_addr = buf;
             pkt.ingress_cycle = ingress;
         }
-        let (mut to_queue, dropped): (Vec<Packet>, Vec<Packet>) = if self.graph.is_empty() {
-            (pkts, Vec::new())
+        if self.graph.is_empty() {
+            self.outcome.reset();
+            self.outcome.returned.append(&mut self.pkts);
         } else {
-            let outcome = self.graph.run_batch(ctx, PacketBatch::from_packets(pkts));
-            (outcome.returned, outcome.dropped)
-        };
-        let pushed = self.out.borrow_mut().push_burst(ctx, &mut to_queue);
+            self.graph.run_batch_into(ctx, &mut self.pkts, &mut self.outcome);
+        }
+        let to_queue = &mut self.outcome.returned;
+        let pushed = self.out.borrow_mut().push_burst(ctx, to_queue);
         self.forwarded += pushed as u64;
         if !to_queue.is_empty() {
             // Queue filled under us (cannot happen with the room check
@@ -478,15 +556,22 @@ impl SourceStage {
         // Recycle locally: front-chain drops plus any burst-rejected tail.
         self.bufs.clear();
         self.bufs.extend(
-            dropped
+            self.outcome
+                .dropped
                 .iter()
-                .chain(to_queue.iter())
+                .chain(self.outcome.returned.iter())
                 .map(|p| p.buf_addr)
                 .filter(|&a| a != 0),
         );
         if !self.bufs.is_empty() {
             self.nic.borrow_mut().recycle_batch(ctx, &self.bufs);
         }
+        // Locally-ended packets return their carcasses to the pool (the
+        // forwarded ones come back via the sink's shared handle).
+        let mut pool = self.pool.borrow_mut();
+        pool.put_all(&mut self.outcome.dropped);
+        pool.put_all(&mut self.outcome.returned);
+        pool.put_all(&mut self.outcome.carcasses);
         TurnResult::Progress
     }
 }
@@ -524,14 +609,18 @@ pub struct SinkStage {
     churn: Option<FrameworkChurn>,
     /// Packets per engine turn: 0 = scalar handoff, n ≥ 1 = burst handoff.
     batch_size: usize,
-    /// Staging vector for the burst dequeue. Its allocation is handed to
-    /// the graph each turn (as `FlowTask`'s batched receive does); the
-    /// scratch vectors below are the ones reused across turns.
+    /// Staging vector for the burst dequeue (reused every turn).
     scratch: Vec<Packet>,
     /// Scratch ingress stamps for latency recording (reused every turn).
     ingress: Vec<u64>,
     /// Scratch buffer addresses for the batched recycle (reused).
     bufs: Vec<Addr>,
+    /// Host-side carcass pool; [`share_pool`](Self::share_pool) points it
+    /// at the paired [`SourceStage`]'s pool so completed packets' frame
+    /// allocations flow back to the generator.
+    pool: Rc<RefCell<PacketPool>>,
+    /// Reusable batch outcome for the back chain.
+    outcome: BatchOutcome,
     /// Per-packet ingress→egress simulated cycles across the whole
     /// pipeline (stamped by the source stage at receive).
     latency: Rc<RefCell<LatencyHistogram>>,
@@ -557,6 +646,8 @@ impl SinkStage {
             scratch: Vec::new(),
             ingress: Vec::new(),
             bufs: Vec::new(),
+            pool: Rc::new(RefCell::new(PacketPool::new())),
+            outcome: BatchOutcome::default(),
             latency: Rc::new(RefCell::new(LatencyHistogram::new())),
             processed: 0,
         }
@@ -566,6 +657,15 @@ impl SinkStage {
     pub fn with_churn(mut self, churn: FrameworkChurn) -> Self {
         self.churn = Some(churn);
         self
+    }
+
+    /// Recycle completed packets' carcasses into `pool` — normally the
+    /// paired [`SourceStage::pool_handle`], closing the host-side carcass
+    /// loop across the pipeline the way the simulated §2.2 recycling
+    /// closes the NIC buffer loop (the standard builders in
+    /// [`crate::pipelines`] wire this).
+    pub fn share_pool(&mut self, pool: Rc<RefCell<PacketPool>>) {
+        self.pool = pool;
     }
 
     /// Switch to burst handoff, draining up to `batch` packets per engine
@@ -619,12 +719,17 @@ impl SinkStage {
         }
         let ingress = pkt.ingress_cycle;
         match self.graph.run(ctx, pkt) {
-            GraphOutcome::Consumed => {}
+            GraphOutcome::Consumed => {
+                if let Some(p) = self.graph.take_consumed() {
+                    self.pool.borrow_mut().put(p);
+                }
+            }
             GraphOutcome::Returned(p) => {
                 if p.buf_addr != 0 {
                     // Cross-core recycle into the source core's pool.
                     self.nic.borrow_mut().recycle_shared(ctx, p.buf_addr);
                 }
+                self.pool.borrow_mut().put(p);
             }
         }
         self.processed += 1;
@@ -662,14 +767,13 @@ impl SinkStage {
         self.ingress.clear();
         self.ingress.extend(self.scratch.iter().map(|p| p.ingress_cycle));
         let n = self.scratch.len() as u64;
-        let batch = PacketBatch::from_packets(std::mem::take(&mut self.scratch));
-        let outcome = self.graph.run_batch(ctx, batch);
+        self.graph.run_batch_into(ctx, &mut self.scratch, &mut self.outcome);
         self.bufs.clear();
         self.bufs.extend(
-            outcome
+            self.outcome
                 .returned
                 .iter()
-                .chain(outcome.dropped.iter())
+                .chain(self.outcome.dropped.iter())
                 .map(|p| p.buf_addr)
                 .filter(|&a| a != 0),
         );
@@ -677,6 +781,14 @@ impl SinkStage {
             // Cross-core recycle into the source core's pool, one
             // free-list ping-pong per burst.
             self.nic.borrow_mut().recycle_shared_batch(ctx, &self.bufs);
+        }
+        // Carcasses flow back to the source stage's generator (host-side
+        // mirror of the cross-core buffer recycle above).
+        {
+            let mut pool = self.pool.borrow_mut();
+            pool.put_all(&mut self.outcome.returned);
+            pool.put_all(&mut self.outcome.dropped);
+            pool.put_all(&mut self.outcome.carcasses);
         }
         self.processed += n;
         ctx.retire_packets(n);

@@ -55,6 +55,22 @@ pub struct BatchOutcome {
     /// `NicQueue::recycle_batch`) — dropped packets never continue
     /// downstream.
     pub dropped: Vec<Packet>,
+    /// The consumed packets' host carcasses (simulated buffers already
+    /// handled by the consuming element, e.g. `ToDevice`'s transmit):
+    /// kept so the caller can return their frame allocations to a
+    /// [`PacketPool`](pp_net::pool::PacketPool) instead of freeing one
+    /// heap buffer per consumed packet. Same count as `consumed`.
+    pub carcasses: Vec<Packet>,
+}
+
+impl BatchOutcome {
+    /// Empty the outcome for reuse, retaining every vector's allocation.
+    pub fn reset(&mut self) {
+        self.consumed = 0;
+        self.returned.clear();
+        self.dropped.clear();
+        self.carcasses.clear();
+    }
 }
 
 /// A wired set of elements. See the module docs.
@@ -72,6 +88,19 @@ pub struct ElementGraph {
     pub drops: u64,
     /// Packets that exited through an unconnected port.
     pub exits: u64,
+    /// Reusable work list for batched execution (host-side; emptied at
+    /// the end of every run).
+    work: VecDeque<(ElementId, Vec<Packet>)>,
+    /// Reusable per-port scatter scratch for batched execution.
+    by_port: Vec<(u8, Vec<Packet>)>,
+    /// Retired sub-batch vectors, recycled so steady-state batched runs
+    /// allocate nothing.
+    spare: Vec<Vec<Packet>>,
+    /// Reusable per-visit action buffer.
+    actions: Vec<Action>,
+    /// Carcass of the last packet a scalar [`run`](Self::run) consumed
+    /// (see [`take_consumed`](Self::take_consumed)).
+    last_consumed: Option<Packet>,
 }
 
 impl ElementGraph {
@@ -85,7 +114,23 @@ impl ElementGraph {
             cost,
             drops: 0,
             exits: 0,
+            work: VecDeque::new(),
+            by_port: Vec::new(),
+            spare: Vec::new(),
+            actions: Vec::new(),
+            last_consumed: None,
         }
+    }
+
+    /// The carcass of the most recent packet a scalar
+    /// [`run`](Self::run)/[`run_from`](Self::run_from) call consumed
+    /// ([`GraphOutcome::Consumed`]), if any: the consuming element already
+    /// handled its simulated buffer, so the host `Packet` is free to
+    /// return to a [`PacketPool`](pp_net::pool::PacketPool). Cleared by
+    /// the call (the batched path reports carcasses through
+    /// [`BatchOutcome::carcasses`] instead).
+    pub fn take_consumed(&mut self) -> Option<Packet> {
+        self.last_consumed.take()
     }
 
     /// Add an element; the first added element becomes the entry point
@@ -160,49 +205,91 @@ impl ElementGraph {
 
     /// Push a whole batch through the graph starting at the entry element.
     /// See the module docs for the batched cost model.
+    ///
+    /// Allocating convenience wrapper around
+    /// [`run_batch_into`](Self::run_batch_into), which steady-state
+    /// callers use with reused scratch buffers.
     pub fn run_batch(&mut self, ctx: &mut ExecCtx<'_>, batch: PacketBatch) -> BatchOutcome {
         let entry = self.entry.expect("graph has no entry element");
         self.run_batch_from(ctx, entry, batch)
     }
 
     /// Push a batch starting at a specific element (pipeline stages that
-    /// enter mid-graph).
+    /// enter mid-graph). Allocating wrapper around
+    /// [`run_batch_from_into`](Self::run_batch_from_into).
     pub fn run_batch_from(
         &mut self,
         ctx: &mut ExecCtx<'_>,
         start: ElementId,
         batch: PacketBatch,
     ) -> BatchOutcome {
+        let mut pkts: Vec<Packet> = batch.into_iter().collect();
         let mut outcome = BatchOutcome::default();
-        if batch.is_empty() {
-            return outcome;
+        self.run_batch_from_into(ctx, start, &mut pkts, &mut outcome);
+        outcome
+    }
+
+    /// Push a batch through the graph starting at the entry element,
+    /// draining `pkts` and writing results into `outcome` (reset at
+    /// entry, allocations retained). The zero-allocation batched path:
+    /// internal work-list and scatter vectors are recycled across calls,
+    /// so a warmed-up graph runs whole batches without touching the heap.
+    /// Charges are identical to [`run_batch`](Self::run_batch).
+    pub fn run_batch_into(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        pkts: &mut Vec<Packet>,
+        outcome: &mut BatchOutcome,
+    ) {
+        let entry = self.entry.expect("graph has no entry element");
+        self.run_batch_from_into(ctx, entry, pkts, outcome);
+    }
+
+    /// [`run_batch_into`](Self::run_batch_into) starting at a specific
+    /// element (pipeline stages that enter mid-graph).
+    pub fn run_batch_from_into(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        start: ElementId,
+        pkts: &mut Vec<Packet>,
+        outcome: &mut BatchOutcome,
+    ) {
+        outcome.reset();
+        if pkts.is_empty() {
+            return;
         }
         // FIFO work list of (element, sub-batch). Branches scatter packets
-        // into per-port sub-batches that keep their relative order.
-        let mut work: VecDeque<(ElementId, Vec<Packet>)> = VecDeque::new();
-        work.push_back((start, batch.into_iter().collect()));
-        let mut actions: Vec<Action> = Vec::new();
-        while let Some((cur, mut pkts)) = work.pop_front() {
+        // into per-port sub-batches that keep their relative order. All
+        // vectors involved are pooled in `self.spare` between runs.
+        debug_assert!(self.work.is_empty());
+        let mut entry_vec = self.spare.pop().unwrap_or_default();
+        entry_vec.append(pkts);
+        self.work.push_back((start, entry_vec));
+        while let Some((cur, mut batch)) = self.work.pop_front() {
             // Framework dispatch: once per element per batch (amortized).
             CostModel::charge(ctx, self.cost.element_hop);
-            actions.clear();
+            self.actions.clear();
             let el = &mut self.elements[cur];
             let tag = self.tag_ids[cur];
-            ctx.scoped_id(tag, |ctx| el.process_batch(ctx, &mut pkts, &mut actions));
+            let actions = &mut self.actions;
+            ctx.scoped_id(tag, |ctx| el.process_batch(ctx, &mut batch, actions));
             // Hard assert (once per batch, so cheap): an element that emits
             // fewer actions than packets would silently leak NIC buffers in
             // release builds via the zip below.
             assert_eq!(
-                actions.len(),
-                pkts.len(),
+                self.actions.len(),
+                batch.len(),
                 "element {} must emit one action per packet",
                 self.elements[cur].class_name()
             );
             // Scatter into per-port sub-batches, preserving packet order.
-            let mut by_port: Vec<(u8, Vec<Packet>)> = Vec::new();
-            for (pkt, action) in pkts.into_iter().zip(actions.drain(..)) {
+            debug_assert!(self.by_port.is_empty());
+            for (pkt, action) in batch.drain(..).zip(self.actions.drain(..)) {
                 match action {
-                    Action::Consumed => outcome.consumed += 1,
+                    Action::Consumed => {
+                        outcome.consumed += 1;
+                        outcome.carcasses.push(pkt);
+                    }
                     Action::Drop => {
                         self.drops += 1;
                         outcome.dropped.push(pkt);
@@ -210,9 +297,14 @@ impl ElementGraph {
                     Action::Out(port) => {
                         match self.edges[cur].get(port as usize).copied().flatten() {
                             Some(_) => {
-                                match by_port.iter_mut().find(|(p, _)| *p == port) {
+                                match self.by_port.iter_mut().find(|(p, _)| *p == port) {
                                     Some((_, v)) => v.push(pkt),
-                                    None => by_port.push((port, vec![pkt])),
+                                    None => {
+                                        let mut v =
+                                            self.spare.pop().unwrap_or_default();
+                                        v.push(pkt);
+                                        self.by_port.push((port, v));
+                                    }
                                 }
                             }
                             None => {
@@ -223,13 +315,13 @@ impl ElementGraph {
                     }
                 }
             }
-            by_port.sort_by_key(|(p, _)| *p);
-            for (port, sub) in by_port {
+            self.spare.push(batch); // drained: recycle its allocation
+            self.by_port.sort_by_key(|(p, _)| *p);
+            for (port, sub) in self.by_port.drain(..) {
                 let next = self.edges[cur][port as usize].expect("checked above");
-                work.push_back((next, sub));
+                self.work.push_back((next, sub));
             }
         }
-        outcome
     }
 
     /// Push one packet starting at a specific element (used by pipeline
@@ -247,7 +339,10 @@ impl ElementGraph {
             let tag = self.tag_ids[cur];
             let action = ctx.scoped_id(tag, |ctx| el.process(ctx, &mut pkt));
             match action {
-                Action::Consumed => return GraphOutcome::Consumed,
+                Action::Consumed => {
+                    self.last_consumed = Some(pkt);
+                    return GraphOutcome::Consumed;
+                }
                 Action::Drop => {
                     self.drops += 1;
                     return GraphOutcome::Returned(pkt);

@@ -426,6 +426,9 @@ pub fn build_pipeline(
         nic,
     )
     .with_churn(churn);
+    // Close the host-side carcass loop: the sink returns completed
+    // packets' frame allocations to the source's generator pool.
+    sink.share_pool(src.pool_handle());
     if pipe.burst >= 1 {
         src = src.with_batch_size(pipe.burst);
         sink = sink.with_batch_size(pipe.burst);
@@ -545,6 +548,7 @@ pub fn two_phase_pipeline(
     let t = back.add(Box::new(ToDevice::new(nic.clone(), true)));
     back.chain(&[b, t]);
     let mut sink = SinkStage::new("2phase-back", queue.clone(), back, nic);
+    sink.share_pool(src.pool_handle());
     if pipe.burst >= 1 {
         src = src.with_batch_size(pipe.burst);
         sink = sink.with_batch_size(pipe.burst);

@@ -245,13 +245,29 @@ impl TrafficGen {
 
     /// Generate the next packet of the stream.
     ///
-    /// Frames are cloned from a cached template (built by the ordinary
+    /// Allocates a fresh frame; steady-state callers should prefer
+    /// [`next_packet_into`](Self::next_packet_into) with a recycled
+    /// carcass from a [`PacketPool`](crate::pool::PacketPool), which
+    /// produces the identical stream with zero per-packet allocation.
+    pub fn next_packet(&mut self) -> Packet {
+        let mut pkt = Packet::from_bytes(bytes::BytesMut::new());
+        self.next_packet_into(&mut pkt);
+        pkt
+    }
+
+    /// Generate the next packet of the stream **into** `pkt`, reusing its
+    /// frame allocation (the carcass-recycling fast path; see
+    /// [`PacketPool`](crate::pool::PacketPool)).
+    ///
+    /// Frames are copied from a cached template (built by the ordinary
     /// [`PacketBuilder`] path on first use) and patched in place:
     /// addresses, ports, payload, and an RFC 1624 incremental IPv4
-    /// checksum update for the four changed header words. A debug
-    /// assertion (and `template_matches_builder` in the tests) pins the
-    /// patched frame byte-for-byte to what the builder would produce.
-    pub fn next_packet(&mut self) -> Packet {
+    /// checksum update for the four changed header words. The RNG draw
+    /// sequence and the produced bytes are identical to the historical
+    /// allocate-per-packet path — a debug assertion (and
+    /// `template_matches_builder` in the tests) pins the patched frame
+    /// byte-for-byte to what the builder would produce.
+    pub fn next_packet_into(&mut self, pkt: &mut Packet) {
         let key = if self.flows.is_empty() {
             FlowKey {
                 src: random_unicast(&mut self.rng),
@@ -266,7 +282,7 @@ impl TrafficGen {
         };
         self.next_payload();
         self.generated += 1;
-        let pkt = self.patched_from_template(&key);
+        self.patch_from_template(&key, pkt);
         debug_assert_eq!(
             pkt.data,
             self.builder
@@ -274,11 +290,11 @@ impl TrafficGen {
                 .data,
             "template patching must reproduce the builder's frame exactly"
         );
-        pkt
     }
 
-    /// Clone the cached template frame and patch key + payload into it.
-    fn patched_from_template(&mut self, key: &FlowKey) -> Packet {
+    /// Copy the cached template frame into `pkt` (reusing its buffer) and
+    /// patch key + payload into it.
+    fn patch_from_template(&mut self, key: &FlowKey, pkt: &mut Packet) {
         const ETH: usize = 14; // EthernetHeader::LEN
         const IP: usize = 20; // Ipv4Header::LEN
         const UDP: usize = 8; // UdpHeader::LEN
@@ -295,7 +311,10 @@ impl TrafficGen {
             self.template = Some(t);
         }
         let tmpl = self.template.as_ref().expect("just built");
-        let mut pkt = Packet::from_bytes(tmpl.data.clone());
+        pkt.data.clear();
+        pkt.data.extend_from_slice(&tmpl.data);
+        pkt.buf_addr = 0;
+        pkt.ingress_cycle = 0;
         let b = &mut pkt.data;
         // Patch the payload (its length is fixed per spec).
         let off = ETH + IP + UDP;
@@ -326,7 +345,6 @@ impl TrafficGen {
             );
         }
         b[ETH + 10..ETH + 12].copy_from_slice(&ck.to_be_bytes());
-        pkt
     }
 }
 
@@ -358,6 +376,30 @@ mod tests {
                     q.payload().unwrap(),
                 );
                 assert_eq!(p.data, qb.data);
+            }
+        }
+    }
+
+    #[test]
+    fn refill_into_recycled_carcass_matches_fresh_stream() {
+        // Refilling one carcass over and over (the PacketPool steady
+        // state) must produce byte-for-byte the stream that fresh
+        // allocation produces, including scrubbed metadata.
+        for spec in [
+            TrafficSpec::random_dst(64, 3),
+            TrafficSpec::flow_population(128, 50, 5),
+        ] {
+            let mut fresh = TrafficGen::new(spec.clone());
+            let mut reused = TrafficGen::new(spec);
+            let mut carcass = Packet::from_bytes(bytes::BytesMut::new());
+            for _ in 0..200 {
+                carcass.buf_addr = 0xbeef; // poison: must be scrubbed
+                carcass.ingress_cycle = 7;
+                reused.next_packet_into(&mut carcass);
+                let f = fresh.next_packet();
+                assert_eq!(carcass.data, f.data);
+                assert_eq!(carcass.buf_addr, 0);
+                assert_eq!(carcass.ingress_cycle, 0);
             }
         }
     }

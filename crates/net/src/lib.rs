@@ -21,6 +21,7 @@ pub mod gen;
 pub mod headers;
 pub mod packet;
 pub mod pcap;
+pub mod pool;
 
 /// Glob-import of the commonly used names.
 pub mod prelude {
@@ -38,4 +39,5 @@ pub mod prelude {
     pub use crate::batch::PacketBatch;
     pub use crate::packet::{Packet, PacketBuilder};
     pub use crate::pcap::PcapWriter;
+    pub use crate::pool::PacketPool;
 }

@@ -1,0 +1,168 @@
+//! Host-side packet-carcass recycling.
+//!
+//! Every generated packet owns a heap-allocated frame buffer
+//! ([`Packet::data`]). Before PR 5, the steady-state datapath allocated
+//! one fresh buffer per packet on the generator side and dropped it on
+//! the transmit side — the gen ⇄ ToDevice churn that dominated the
+//! simulator's remaining wall-clock floor. A [`PacketPool`] closes that
+//! loop on the host: completed packets return their *carcass* (the
+//! `Packet` struct with its buffer allocation intact) to the pool, and
+//! the generator refills recycled carcasses in place
+//! ([`TrafficGen::next_packet_into`]), so a warmed-up flow performs zero
+//! per-packet heap allocation.
+//!
+//! The pool is purely host machinery: it mirrors what the *simulated*
+//! NIC buffer pool ([`NicQueue`]'s free list) already models and charges,
+//! so recycling through it changes no simulated result — the same reason
+//! the paper's Click core recycles skbuffs instead of calling the
+//! allocator.
+//!
+//! [`Packet::data`]: crate::packet::Packet
+//! [`TrafficGen::next_packet_into`]: crate::gen::traffic::TrafficGen::next_packet_into
+//! [`NicQueue`]: ../../pp_sim/nic/struct.NicQueue.html
+
+use crate::packet::Packet;
+use bytes::BytesMut;
+
+/// Carcasses retained at most, guarding against a pathological caller
+/// that keeps returning packets it never takes (in-flight packet counts
+/// are bounded by NIC pools and queue capacities, so real flows never hit
+/// this).
+const DEFAULT_CAP: usize = 1024;
+
+/// A free list of packet carcasses. See the module docs.
+#[derive(Debug)]
+pub struct PacketPool {
+    free: Vec<Packet>,
+    cap: usize,
+    /// Carcasses handed out in total.
+    pub takes: u64,
+    /// Of which were recycled (the rest were fresh allocations).
+    pub reuses: u64,
+}
+
+impl Default for PacketPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PacketPool {
+    /// An empty pool with the default retention cap.
+    pub fn new() -> Self {
+        PacketPool { free: Vec::new(), cap: DEFAULT_CAP, takes: 0, reuses: 0 }
+    }
+
+    /// An empty pool retaining at most `cap` carcasses (`cap` ≥ 1).
+    pub fn with_capacity(cap: usize) -> Self {
+        PacketPool { free: Vec::new(), cap: cap.max(1), takes: 0, reuses: 0 }
+    }
+
+    /// Carcasses currently pooled.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether the pool holds no carcasses.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Hand out a carcass: the most recently returned one (its buffer is
+    /// hottest in the host cache, mirroring the simulated pool's LIFO
+    /// policy), or a fresh empty packet when the pool is dry.
+    #[inline]
+    pub fn take(&mut self) -> Packet {
+        self.takes += 1;
+        match self.free.pop() {
+            Some(p) => {
+                self.reuses += 1;
+                p
+            }
+            None => Packet::from_bytes(BytesMut::new()),
+        }
+    }
+
+    /// Return a carcass. The frame bytes are kept (the next refill
+    /// overwrites them); metadata is scrubbed so a stale simulated buffer
+    /// address or ingress stamp can never leak into a reused packet.
+    #[inline]
+    pub fn put(&mut self, mut pkt: Packet) {
+        if self.free.len() >= self.cap {
+            return; // drop: allocation is bounded by the cap
+        }
+        pkt.buf_addr = 0;
+        pkt.ingress_cycle = 0;
+        self.free.push(pkt);
+    }
+
+    /// Return every carcass in `pkts`, leaving it empty (its allocation
+    /// is retained by the caller for reuse).
+    #[inline]
+    pub fn put_all(&mut self, pkts: &mut Vec<Packet>) {
+        for p in pkts.drain(..) {
+            self.put(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    fn pkt() -> Packet {
+        PacketBuilder::default().udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            7,
+            53,
+            b"payload",
+        )
+    }
+
+    #[test]
+    fn take_prefers_recycled_carcass() {
+        let mut pool = PacketPool::new();
+        let mut p = pkt();
+        p.buf_addr = 0xdead;
+        p.ingress_cycle = 42;
+        pool.put(p);
+        assert_eq!(pool.len(), 1);
+        let r = pool.take();
+        assert_eq!(pool.reuses, 1);
+        assert_eq!(r.buf_addr, 0, "stale simulated address must be scrubbed");
+        assert_eq!(r.ingress_cycle, 0, "stale ingress stamp must be scrubbed");
+        assert!(!r.data.is_empty(), "frame allocation is retained");
+    }
+
+    #[test]
+    fn dry_pool_allocates_fresh() {
+        let mut pool = PacketPool::new();
+        let p = pool.take();
+        assert!(p.data.is_empty());
+        assert_eq!(pool.takes, 1);
+        assert_eq!(pool.reuses, 0);
+    }
+
+    #[test]
+    fn cap_bounds_retention() {
+        let mut pool = PacketPool::with_capacity(2);
+        for _ in 0..5 {
+            pool.put(pkt());
+        }
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn put_all_drains_the_vector_keeping_capacity() {
+        let mut pool = PacketPool::new();
+        let mut v = vec![pkt(), pkt(), pkt()];
+        let cap = v.capacity();
+        pool.put_all(&mut v);
+        assert!(v.is_empty());
+        assert_eq!(v.capacity(), cap);
+        assert_eq!(pool.len(), 3);
+    }
+}

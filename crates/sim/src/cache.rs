@@ -157,6 +157,12 @@ pub struct Cache {
     /// memo: hits never move lines, so only tag mutations drop it.
     mru_tag: u64,
     mru_way: u32,
+    /// Number of currently valid lines, maintained by insert/invalidate.
+    /// `0` lets every read-only probe (and the coherence paths built on
+    /// them) skip the array walk outright — a completely empty cache (an
+    /// unused socket's L3 in solo runs) can hold nothing, and scanning
+    /// its megabytes of cold tags was measurable wall-clock (PR 5).
+    valid: u64,
 }
 
 /// Strategy for mapping a tag to its set number; see [`Cache::set_index`].
@@ -218,6 +224,7 @@ impl Cache {
             memo_invalid: 0,
             mru_tag: INVALID_TAG,
             mru_way: 0,
+            valid: 0,
         }
     }
 
@@ -265,7 +272,13 @@ impl Cache {
     fn find_way(&self, tag: u64, base: usize) -> Option<usize> {
         match self.ways {
             8 => Self::find_way_w::<8>(&self.tags[base..base + 8], tag),
-            16 => Self::find_way_w::<16>(&self.tags[base..base + 16], tag),
+            16 => match Self::find_way_w::<8>(&self.tags[base..base + 8], tag) {
+                // Split 8+8 so a first-half hit skips the set's second
+                // host cache line (see the contract note on `scan`).
+                Some(w) => Some(w),
+                None => Self::find_way_w::<8>(&self.tags[base + 8..base + 16], tag)
+                    .map(|w| w + 8),
+            },
             _ => self.tags[base..base + self.ways].iter().position(|&t| t == tag),
         }
     }
@@ -334,11 +347,28 @@ impl Cache {
     /// invalid-way mask (the two compares vectorize together). The lookup
     /// needs the first; a miss stores the second in the scan memo for the
     /// fill that follows.
+    ///
+    /// **Contract:** the invalid mask is only meaningful when the match
+    /// mask is zero — on a hit the caller discards it, which is what lets
+    /// the 16-way arm stop at its first half. A 16-way set's tags span
+    /// two host cache lines, and on the megabyte-scale L3 arrays the
+    /// second line is a real memory touch: the split arm skips it for the
+    /// half of hits that land in ways 0–7 (PR 5; exactness unaffected —
+    /// the match result is identical and misses still scan everything).
     #[inline]
     fn scan(&self, tag: u64, base: usize) -> (u32, u32) {
         match self.ways {
             8 => Self::scan_w::<8>(&self.tags[base..base + 8], tag),
-            16 => Self::scan_w::<16>(&self.tags[base..base + 16], tag),
+            16 => {
+                let (lo_mask, lo_invalid) =
+                    Self::scan_w::<8>(&self.tags[base..base + 8], tag);
+                if lo_mask != 0 {
+                    return (lo_mask, 0); // invalid unused on a hit
+                }
+                let (hi_mask, hi_invalid) =
+                    Self::scan_w::<8>(&self.tags[base + 8..base + 16], tag);
+                (hi_mask << 8, lo_invalid | (hi_invalid << 8))
+            }
             _ => {
                 let mut mask = 0u32;
                 let mut invalid = 0u32;
@@ -450,6 +480,112 @@ impl Cache {
         self.set_index.of(tag) as usize * self.ways
     }
 
+    /// First way index of the set `addr` maps to (host-side helper for the
+    /// lockstep charging engine's dirty-set log; no simulated effect).
+    #[inline]
+    pub(crate) fn base_of(&self, addr: Addr) -> usize {
+        let tag = line_of(addr) >> CACHE_LINE_SHIFT;
+        self.set_index.of(tag) as usize * self.ways
+    }
+
+    /// Read-only probe for the lockstep charging engine: one scan of the
+    /// set computing the line's tag, the set's first way index, the match
+    /// mask, and the invalid-way mask. Touches no simulated state — the
+    /// probe is pure (it is also the engine's host-cache prewarm: the tag
+    /// block it scans is exactly what the later commit mutates).
+    #[inline]
+    pub(crate) fn probe_scan(&self, addr: Addr) -> (u64, usize, u32, u32) {
+        let (tag, base) = self.locate(addr);
+        let (mask, invalid) = self.scan(tag, base);
+        (tag, base, mask, invalid)
+    }
+
+    /// Commit a hit whose way is already known from a validated probe
+    /// ([`probe_scan`]), in the [`hit_update`](Self::hit_update) shape used
+    /// for private L1 lookups: identical clock, LRU, dirty, stats, and MRU
+    /// hint effects, minus the re-scan. The caller must have proved the
+    /// probe is still current (no tag mutation has touched this set since);
+    /// the debug assertion rechecks the contract.
+    #[inline]
+    pub(crate) fn hit_commit_l1(&mut self, tag: u64, base: usize, way: usize, write: bool) {
+        let i = base + way;
+        debug_assert_eq!(self.tags[i], tag, "stale lockstep hit hint");
+        self.clock += 1;
+        let keep = self.meta[i] & (META_PRESENCE_MASK | META_DIRTY);
+        self.meta[i] = (self.clock << META_LRU_SHIFT) | keep | (write as u64);
+        self.stats.hits += 1;
+        self.mru_tag = tag;
+        self.mru_way = way as u32;
+    }
+
+    /// Commit a hit whose way is already known from a validated probe, in
+    /// the [`access`](Self::access) shape used for L2/L3 lookups: identical
+    /// clock, LRU, dirty, presence-merge, and stats effects, minus the
+    /// re-scan (and, like `access`, no MRU-hint update). Same validity
+    /// contract as [`hit_commit_l1`](Self::hit_commit_l1).
+    #[inline]
+    pub(crate) fn hit_commit(
+        &mut self,
+        tag: u64,
+        base: usize,
+        way: usize,
+        write: bool,
+        presence: u16,
+    ) {
+        let i = base + way;
+        debug_assert_eq!(self.tags[i], tag, "stale lockstep hit hint");
+        self.clock += 1;
+        let keep = self.meta[i] & (META_PRESENCE_MASK | META_DIRTY);
+        self.meta[i] = (self.clock << META_LRU_SHIFT)
+            | keep
+            | ((presence as u64) << META_PRESENCE_SHIFT)
+            | (write as u64);
+        self.stats.hits += 1;
+    }
+
+    /// Directory presence mask of the way a validated probe matched (no
+    /// LRU update, no stats; the fused DMA path reads it off its single
+    /// scan instead of probing again).
+    #[inline]
+    pub(crate) fn presence_at(&self, base: usize, way: usize) -> u16 {
+        ((self.meta[base + way] & META_PRESENCE_MASK) >> META_PRESENCE_SHIFT) as u16
+    }
+
+    /// Pre-touch the host memory of one set's packed metadata (pure loads,
+    /// no simulated state; the caller black-boxes the return). The probe
+    /// pass of the lockstep engine calls this for addresses that will
+    /// descend, so the victim-selection meta reads the commit performs run
+    /// against a warm host cache.
+    #[inline]
+    pub(crate) fn meta_touch(&self, base: usize) -> u64 {
+        let mut acc = 0u64;
+        let mut w = 0;
+        while w < self.ways {
+            acc ^= self.meta[base + w];
+            w += 8;
+        }
+        acc
+    }
+
+    /// Commit a miss established by a validated probe: identical net effect
+    /// to the canonical lookup-that-misses (one clock tick, one miss count,
+    /// and the scan memo primed for the fill that follows) without
+    /// re-scanning the set. Covers both canonical miss shapes — `access`'s
+    /// miss arm and `hit_update`-miss followed by
+    /// [`record_miss`](Self::record_miss) — whose net state effects are
+    /// identical. The caller must have proved the probe's invalid-way mask
+    /// is still current (tag mutations are what change it).
+    #[inline]
+    pub(crate) fn miss_commit(&mut self, tag: u64, base: usize, invalid: u32) {
+        debug_assert!(
+            self.find_way(tag, base).is_none(),
+            "stale lockstep miss hint: line became resident"
+        );
+        self.clock += 1;
+        self.stats.misses += 1;
+        self.memoize_miss(tag, base, invalid);
+    }
+
     /// Record a lookup known to miss (the fast path already scanned and
     /// found nothing): advances the lookup clock and the miss count exactly
     /// as a full [`access`](Self::access) miss would, without re-scanning
@@ -484,6 +620,9 @@ impl Cache {
 
     /// Whether the line is currently resident (no LRU update, no stats).
     pub fn probe(&self, addr: Addr) -> bool {
+        if self.valid == 0 {
+            return false;
+        }
         let (tag, base) = self.locate(addr);
         self.find_way(tag, base).is_some()
     }
@@ -495,6 +634,9 @@ impl Cache {
     /// (see `Machine::dma_deliver`).
     #[inline]
     pub fn probe_presence(&self, addr: Addr) -> Option<u16> {
+        if self.valid == 0 {
+            return None;
+        }
         let (tag, base) = self.locate(addr);
         self.find_way(tag, base).map(|w| {
             ((self.meta[base + w] & META_PRESENCE_MASK) >> META_PRESENCE_SHIFT) as u16
@@ -505,6 +647,9 @@ impl Cache {
     /// no stats) — used by the coherence path to detect a modified copy in
     /// another core's private cache.
     pub fn probe_dirty(&self, addr: Addr) -> Option<bool> {
+        if self.valid == 0 {
+            return None;
+        }
         let (tag, base) = self.locate(addr);
         self.find_way(tag, base).map(|w| self.meta[base + w] & META_DIRTY != 0)
     }
@@ -592,6 +737,7 @@ impl Cache {
                     as u16,
             })
         } else {
+            self.valid += 1;
             None
         };
 
@@ -659,6 +805,7 @@ impl Cache {
                     as u16,
             })
         } else {
+            self.valid += 1;
             None
         };
 
@@ -672,9 +819,13 @@ impl Cache {
     /// Remove a line if present; returns whether it was dirty (the caller
     /// decides whether the data must be pushed down the hierarchy).
     pub fn invalidate(&mut self, addr: Addr) -> Option<bool> {
+        if self.valid == 0 {
+            return None;
+        }
         let (tag, base) = self.locate(addr);
         if let Some(w) = self.find_way(tag, base) {
             self.tags[base + w] = INVALID_TAG;
+            self.valid -= 1;
             self.memo_tag = INVALID_TAG; // tags changed: memo and MRU are stale
             self.mru_tag = INVALID_TAG;
             self.stats.invalidations += 1;
@@ -684,9 +835,15 @@ impl Cache {
         }
     }
 
-    /// Number of currently valid lines (test/diagnostic helper).
+    /// Number of currently valid lines (O(1): maintained by
+    /// insert/invalidate; debug builds verify it against the arrays).
     pub fn occupancy(&self) -> usize {
-        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
+        debug_assert_eq!(
+            self.valid as usize,
+            self.tags.iter().filter(|&&t| t != INVALID_TAG).count(),
+            "valid-line counter out of sync"
+        );
+        self.valid as usize
     }
 
     /// Drop all contents and statistics.
@@ -697,6 +854,7 @@ impl Cache {
         self.stats = CacheStats::default();
         self.memo_tag = INVALID_TAG;
         self.mru_tag = INVALID_TAG;
+        self.valid = 0;
     }
 }
 

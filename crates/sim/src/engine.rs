@@ -102,6 +102,11 @@ pub struct Engine {
     /// controllers, and counters directly).
     pub machine: Machine,
     tasks: Vec<Option<Box<dyn CoreTask>>>,
+    /// Shared empty label handed to idle cores in measurements, so
+    /// building a [`Measurement`] allocates no strings at all (tasks hand
+    /// out `Rc` clones of their own labels; see
+    /// [`CoreTask::label_shared`]).
+    empty_label: Rc<str>,
 }
 
 impl Engine {
@@ -110,7 +115,7 @@ impl Engine {
         let n = machine.config().total_cores();
         let mut tasks = Vec::with_capacity(n);
         tasks.resize_with(n, || None);
-        Engine { machine, tasks }
+        Engine { machine, tasks, empty_label: Rc::from("") }
     }
 
     /// Bind a task to a core (replacing any previous task).
@@ -197,7 +202,7 @@ impl Engine {
                 let label = self.tasks[core.index()]
                     .as_ref()
                     .map(|t| t.label_shared())
-                    .unwrap_or_else(|| Rc::from(""));
+                    .unwrap_or_else(|| self.empty_label.clone());
                 CoreMeasurement { core, label, counts, metrics }
             })
             .collect();

@@ -69,6 +69,13 @@
 //! operation traces and require identical hits, misses, evictions,
 //! presence masks, counters, and clocks. `repro perf` (pp-bench) tracks
 //! the resulting simulated-packets-per-wall-second in `BENCH_sim.json`.
+//!
+//! PR 5 added the **lockstep batched charging engine**
+//! ([`ctx::ExecCtx::read_batch_lockstep`]; design and the measured
+//! finding in the `lockstep` module), empty-cache shortcuts on every
+//! read-only probe, a fused single-scan DMA delivery, and an 8+8
+//! split-scan for 16-way sets — all proven bit-identical by the same
+//! reference harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -81,6 +88,7 @@ pub mod ctx;
 pub mod engine;
 pub mod interconnect;
 pub mod latency;
+pub(crate) mod lockstep;
 pub mod machine;
 pub mod memctrl;
 pub mod nic;

@@ -1,0 +1,310 @@
+//! Host-side plan state for the level-synchronous **lockstep charging
+//! engine** (see [`Machine::charge_read_batch`]).
+//!
+//! A [`read_batch`](crate::ctx::ExecCtx::read_batch) charges a vector of
+//! *independent* loads. The serial walk resolves each address through
+//! L1 → L2 → L3 → memory one at a time — a chain of data-dependent
+//! branches against megabytes of simulated cache metadata. The lockstep
+//! engine splits that walk into:
+//!
+//! 1. a **probe phase** — one read-only pass per hierarchy level that
+//!    scans *all* pending tags at that level as a group and descends only
+//!    the miss subset (level-major, branch-predictable, and the scanned
+//!    tag blocks double as the host-cache prewarm the commit then hits);
+//! 2. a **commit phase** — one pass in exact serial address order that
+//!    performs every simulated mutation (LRU refreshes, fills, evictions,
+//!    back-invalidations, memory-controller and QPI arrivals, counter
+//!    bumps) through the canonical cache operations, skipping only the
+//!    tag re-scans that the probe already did.
+//!
+//! ## Why results are bit-for-bit identical
+//!
+//! Every simulated state change is made by the commit phase, in the exact
+//! order the serial walk would have made it, through either the canonical
+//! operation itself or a commit shortcut whose state effect is proved
+//! identical ([`Cache::hit_commit`], [`Cache::miss_commit`] — see their
+//! contracts). The probe results are *advisory*: a probe hint is consumed
+//! only if it is still **valid** at commit time, where validity means "no
+//! tag mutation has touched this set since the probe ran". Tag mutations
+//! during a batch commit can only come from the batch's own fills,
+//! evictions, and inclusive-L3 back-invalidations, so the commit phase
+//! logs the set base of every one into the per-level [`DirtyLog`]; a hint
+//! whose set base appears in the log is discarded and that address falls
+//! back to the canonical scan at that level (state-identical, just
+//! slower). Two further rules close the remaining holes:
+//!
+//! * **Duplicate lines** — a later occurrence of a line the batch already
+//!   charged would be mis-classified by the probe (the first occurrence's
+//!   fill makes it resident). Duplicates are detected host-side and
+//!   planned as [`PlanLevel::Unplanned`]: they take the canonical walk
+//!   inside the commit loop (which, being in serial order, handles them
+//!   exactly). Distinct lines can never be *inserted* by another
+//!   address's commit, so a probed miss stays a miss — only probed hits
+//!   need the dirty-log check against back-invalidation/eviction.
+//! * **Prefetchers** — a hardware prefetcher trains on every L2 access
+//!   and issues fills at neighbouring lines, coupling every address to
+//!   every other in ways no per-set log captures. Batches run with the
+//!   prefetcher enabled take the serial reference walk unchanged
+//!   (`reference::charge_read_batch_serial`).
+//!
+//! Memory-controller and QPI queue state depend on *arrival order*
+//! (each arrival's modelled delay depends on how many came before it in
+//! the rate window); the commit phase replays those arrivals in serial
+//! order by construction, so delays are identical too. The equivalence is
+//! policed by the in-crate
+//! `lockstep_matches_serial_reference_on_random_traces` test and the
+//! workspace proptests in `tests/properties.rs`.
+//!
+//! ## Measured outcome (PR 5)
+//!
+//! On this container the engine runs at parity to ~25% *slower* than the
+//! serial walk (`benches/charging.rs` isolates the scenarios): the PR-3
+//! serial path's blind batch prewarm already overlaps the host-memory
+//! latencies the level-major probe targets, its miss-scan memo already
+//! elides every redundant fill scan, and the probe's plan bookkeeping is
+//! pure overhead on top. Production
+//! [`read_batch`](crate::ctx::ExecCtx::read_batch) therefore keeps the
+//! serial walk, and the engine is exposed as
+//! [`read_batch_lockstep`](crate::ctx::ExecCtx::read_batch_lockstep) —
+//! proven, property-tested, and benchmarked — so the crossover can be
+//! re-evaluated on hosts whose memory systems reward the level-major
+//! structure (wider machines, slower prefetch-less hosts).
+//!
+//! [`Machine::charge_read_batch`]: crate::machine::Machine
+//! [`Cache::hit_commit`]: crate::cache::Cache
+//! [`Cache::miss_commit`]: crate::cache::Cache
+
+use crate::types::Addr;
+
+/// Probe classification of one batch address: the level it will hit, or
+/// [`Unplanned`](PlanLevel::Unplanned) when the engine must not trust a
+/// probe for it (duplicate line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum PlanLevel {
+    /// No probe hints: take the canonical walk inside the commit loop.
+    Unplanned,
+    /// Probed resident in the core's L1.
+    L1Hit,
+    /// Probed L1-miss, resident in the core's L2.
+    L2Hit,
+    /// Probed L1+L2-miss, resident in the socket's L3.
+    L3Hit,
+    /// Probed miss at every level: goes to the home memory controller.
+    Mem,
+}
+
+/// Per-address probe record. `way` is the hit way at the hit level;
+/// `base*`/`inv*` are the set bases and invalid-way masks at each probed
+/// level (a level deeper than the hit level is never probed and its
+/// fields are dead).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PlanEntry {
+    /// The line's tag (`line_addr >> 6`), shared by all levels.
+    pub tag: u64,
+    /// First way index of the L1 set.
+    pub base1: u32,
+    /// First way index of the L2 set.
+    pub base2: u32,
+    /// First way index of the L3 set.
+    pub base3: u32,
+    /// Invalid-way mask of the L1 set (miss memo seed). `u16` bounds the
+    /// engine at 16 ways — the machine's maximum geometry; wider caches
+    /// take the serial path (checked at `charge_read_batch`).
+    pub inv1: u16,
+    /// Invalid-way mask of the L2 set.
+    pub inv2: u16,
+    /// Invalid-way mask of the L3 set.
+    pub inv3: u16,
+    /// Probe classification.
+    pub level: PlanLevel,
+    /// Way index at the hit level.
+    pub way: u8,
+}
+
+impl Default for PlanEntry {
+    fn default() -> Self {
+        PlanEntry {
+            tag: 0,
+            base1: 0,
+            base2: 0,
+            base3: 0,
+            inv1: 0,
+            inv2: 0,
+            inv3: 0,
+            level: PlanLevel::Unplanned,
+            way: 0,
+        }
+    }
+}
+
+/// Sets whose tags were mutated during the current batch commit, one
+/// filter per cache the batch can observe (the charging core's L1 and L2
+/// and its socket's L3), kept as a 64-bit Bloom-style filter over hashed
+/// set bases. A clear bit proves the set is untouched (hint usable); a
+/// set bit is treated as dirty without further checking — a hash
+/// collision then merely sends that address down the canonical
+/// (state-identical) path, so correctness never depends on the hash.
+/// O(1) per check is what keeps miss-heavy batches from drowning in
+/// validity bookkeeping (a Vec scan here measured O(batch²)).
+#[derive(Debug, Default)]
+pub(crate) struct DirtyLog {
+    bits: u64,
+}
+
+/// Fibonacci multiplier for base/line hashing (any odd constant works;
+/// correctness never depends on distribution).
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl DirtyLog {
+    #[inline]
+    fn bit(base: u32) -> u64 {
+        1u64 << ((base as u64).wrapping_mul(HASH_MUL) >> 58)
+    }
+
+    /// Forget all mutations (start of a batch commit).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.bits = 0;
+    }
+
+    /// Record a tag mutation in the set starting at `base`.
+    #[inline]
+    pub fn push(&mut self, base: usize) {
+        self.bits |= Self::bit(base as u32);
+    }
+
+    /// Whether the set starting at `base` is provably untouched since the
+    /// probe (false may be a hash collision — the caller must only react
+    /// by taking the canonical path).
+    #[inline]
+    pub fn clean(&self, base: u32) -> bool {
+        self.bits & Self::bit(base) == 0
+    }
+}
+
+/// Reusable host-side state for one machine's lockstep engine: the
+/// per-address plan, the level-major pending worklists, the dirty logs,
+/// and the duplicate-detection scratch. Held by the
+/// [`Machine`](crate::machine::Machine) and recycled across batches so the
+/// steady state allocates nothing.
+#[derive(Debug, Default)]
+pub(crate) struct LockstepPlan {
+    /// One entry per batch address.
+    pub entries: Vec<PlanEntry>,
+    /// Indices still descending (input of the current level pass).
+    pub pending: Vec<u32>,
+    /// Indices that missed the current level (output, becomes `pending`).
+    pub misses: Vec<u32>,
+    /// Tag-mutation log for the charging core's L1.
+    pub dirty_l1: DirtyLog,
+    /// Tag-mutation log for the charging core's L2.
+    pub dirty_l2: DirtyLog,
+    /// Tag-mutation log for the socket's L3.
+    pub dirty_l3: DirtyLog,
+    /// Duplicate-line detection scratch: an open-addressing hash table of
+    /// `(generation, line)` slots. Generation stamping makes resets free —
+    /// a slot from an older batch is simply empty — so the steady state
+    /// never memsets the table.
+    pub seen: Vec<(u32, u64)>,
+    /// Current generation for `seen` (bumped per batch).
+    pub seen_gen: u32,
+}
+
+impl LockstepPlan {
+    /// Reset for a batch of `n` addresses. Allocation-free *and*
+    /// memset-free in steady state: `entries` is only resized (every live
+    /// index is overwritten by `mark_duplicates` or the probe), and the
+    /// duplicate table resets by generation bump.
+    pub fn reset(&mut self, n: usize) {
+        self.entries.resize(n, PlanEntry::default());
+        self.pending.clear();
+        self.misses.clear();
+        self.dirty_l1.clear();
+        self.dirty_l2.clear();
+        self.dirty_l3.clear();
+    }
+
+    /// Fill `pending` with the indices of every *first occurrence* of a
+    /// line, in address order, marking later occurrences
+    /// [`Unplanned`](PlanLevel::Unplanned) (the probe passes consume
+    /// `pending`, so duplicates are never probed and take the canonical
+    /// walk inside the commit loop — see the module docs). One
+    /// linear-probing hash pass: O(n), no sort, no per-batch memset.
+    pub fn mark_duplicates(&mut self, lines: impl ExactSizeIterator<Item = Addr>) {
+        let cap = (lines.len() * 2).next_power_of_two();
+        if self.seen.len() < cap {
+            // Table grew: scrub it outright so no pre-growth stamp can
+            // ever alias a future generation value.
+            self.seen.resize(cap, (0, 0));
+            self.seen.fill((0, 0));
+            self.seen_gen = 0;
+        }
+        let cap = self.seen.len();
+        self.seen_gen = self.seen_gen.wrapping_add(1);
+        if self.seen_gen == 0 {
+            // Wrapped: old stamps would read as current. Once per 2^32
+            // batches, scrub and restart.
+            self.seen.fill((0, 0));
+            self.seen_gen = 1;
+        }
+        let gen = self.seen_gen;
+        let shift = 64 - cap.trailing_zeros();
+        self.pending.clear();
+        'next: for (i, line) in lines.enumerate() {
+            let mut slot = (line.wrapping_mul(HASH_MUL) >> shift) as usize;
+            loop {
+                let (g, v) = self.seen[slot];
+                if g != gen {
+                    self.seen[slot] = (gen, line);
+                    self.pending.push(i as u32);
+                    continue 'next;
+                }
+                if v == line {
+                    self.entries[i].level = PlanLevel::Unplanned;
+                    continue 'next; // duplicate: canonical walk at commit
+                }
+                slot = (slot + 1) & (cap - 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_log_membership() {
+        let mut log = DirtyLog::default();
+        assert!(log.clean(128));
+        log.push(128);
+        assert!(!log.clean(128), "a pushed base must read dirty");
+        log.clear();
+        assert!(log.clean(128));
+        // One-sided filter: pushed bases are always dirty; other bases may
+        // collide (false dirty is allowed, false clean is not).
+        let mut log = DirtyLog::default();
+        for b in [0usize, 8, 16, 4096, 196600] {
+            log.push(b);
+            assert!(!log.clean(b as u32));
+        }
+    }
+
+    #[test]
+    fn mark_duplicates_keeps_first_occurrences_in_address_order() {
+        let mut plan = LockstepPlan::default();
+        plan.reset(5);
+        // Lines: a b a c b — indices 2 and 4 are duplicates.
+        plan.mark_duplicates([10u64, 20, 10, 30, 20].into_iter());
+        assert_eq!(plan.pending, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn mark_duplicates_all_distinct_keeps_everything() {
+        let mut plan = LockstepPlan::default();
+        plan.reset(4);
+        plan.mark_duplicates([4u64, 3, 2, 1].into_iter());
+        assert_eq!(plan.pending, vec![0, 1, 2, 3]);
+    }
+}

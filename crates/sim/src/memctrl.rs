@@ -91,6 +91,16 @@ impl QueueModel {
 
     /// Record an arrival at `now` and return the modeled queueing delay
     /// (M/D/1 mean wait: `service * rho / (2 * (1 - rho))`).
+    ///
+    /// **Arrival-order invariant (PR 5):** the delay depends on how many
+    /// arrivals the rate window has already counted, so two traces are
+    /// only bit-identical if they submit arrivals in the same order —
+    /// demand reads *and* the posted writes interleaved between them.
+    /// This is why the lockstep charging engine replays its commit phase
+    /// in exact serial address order (see `pp-sim::lockstep`), and why
+    /// the equivalence property tests compare `total_queue_delay`
+    /// directly: it is the most order-sensitive observable in the model.
+    #[inline]
     pub fn arrival(&mut self, now: Cycles) -> Cycles {
         self.advance(now);
         self.cur_count += 1;
@@ -188,6 +198,37 @@ impl MemCtrl {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn arrival_order_is_observable() {
+        // The invariant the lockstep engine's serial-order commit exists
+        // to preserve: interleaving the same arrivals differently yields
+        // different per-arrival delays (even though the multiset of
+        // arrivals is identical).
+        let run = |writes_first: bool| {
+            let mut m = MemCtrl::new(10);
+            // A burst of posted writes and one demand read, same stamps;
+            // only the submission order differs.
+            if writes_first {
+                for _ in 0..200 {
+                    m.posted_write(0);
+                }
+                m.demand_read(0);
+            } else {
+                m.demand_read(0);
+                for _ in 0..200 {
+                    m.posted_write(0);
+                }
+            }
+            m.stats().total_queue_delay
+        };
+        let after = run(true);
+        let before = run(false);
+        assert!(
+            after > before,
+            "a read behind the burst must queue more ({after} vs {before})"
+        );
+    }
 
     #[test]
     fn idle_controller_adds_no_delay() {
