@@ -25,6 +25,9 @@
 //!                         choice (model-driven, measurement-verified) +
 //!                         predictor re-validation at batch 64
 //!   perf       extras   — simulator self-benchmark (wall-clock, BENCH_sim.json)
+//!   chaos      extras   — fault injection + graceful degradation: seeded
+//!                         disturbance timelines vs the runtime guard's
+//!                         ladder (CHAOS_results.json)
 //!   all        everything above, in order (except perf: wall-dependent)
 //! ```
 //!
@@ -40,7 +43,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|pipeline|pipeline-batch|throttle|ablate|extended|cat|mixes|batch|adaptive|perf|all> \
+        "usage: repro <table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|pipeline|pipeline-batch|throttle|ablate|extended|cat|mixes|batch|adaptive|perf|chaos|all> \
          [--quick] [--packets N] [--threads N] [--levels N] [--out DIR]"
     );
     std::process::exit(2);
@@ -167,6 +170,9 @@ fn main() {
         "perf" => {
             experiments::perf::run(&ctx);
         }
+        "chaos" => {
+            experiments::chaos::run(&ctx);
+        }
         "all" => {
             experiments::table1::run(&ctx);
             experiments::fig2::run(&ctx);
@@ -186,6 +192,7 @@ fn main() {
             experiments::partition::run(&ctx);
             experiments::batch::run(&ctx);
             experiments::adaptive::run(&ctx);
+            experiments::chaos::run(&ctx);
         }
         _ => usage(),
     }

@@ -5,6 +5,7 @@
 pub mod ablations;
 pub mod adaptive;
 pub mod batch;
+pub mod chaos;
 pub mod extended;
 pub mod fig10;
 pub mod mixes;

@@ -67,6 +67,16 @@ pub struct SpscQueue {
     /// Enqueue attempts rejected because the queue was full (a cut-short
     /// burst counts once, like a cut-short NIC `rx_batch`).
     pub full_rejects: u64,
+    /// **Packets** rejected for queue-full — unlike `full_rejects` (one per
+    /// cut-short burst, an event count) this counts every individual packet
+    /// the producer offered and the queue refused, which is what loss
+    /// accounting (`DropStats::queue_full`) needs for exact conservation.
+    /// The caller decides the outcome (drop vs. retry); this counter
+    /// records that the rejection was *observed*, never silent.
+    pub rejected_packets: u64,
+    /// Fault-injection capacity cap: when below `capacity` the queue
+    /// admits only this many packets ([`set_capacity_limit`](Self::set_capacity_limit)).
+    cap_limit: usize,
     /// [`HANDOFF_TAG`] interned once at construction (`TagId` protocol).
     t_handoff: TagId,
 }
@@ -91,6 +101,8 @@ impl SpscQueue {
             enqueued: 0,
             dequeued: 0,
             full_rejects: 0,
+            rejected_packets: 0,
+            cap_limit: usize::MAX,
             t_handoff: TagId::intern(HANDOFF_TAG),
         }
     }
@@ -105,9 +117,10 @@ impl SpscQueue {
         self.q.is_empty()
     }
 
-    /// Whether the queue is full.
+    /// Whether the queue is full (at its effective capacity — the ring
+    /// size, or the fault-injection cap when one is set).
     pub fn is_full(&self) -> bool {
-        self.q.len() >= self.capacity
+        self.q.len() >= self.effective_capacity()
     }
 
     /// Ring capacity in descriptor slots.
@@ -115,10 +128,32 @@ impl SpscQueue {
         self.capacity
     }
 
+    /// Capacity currently in force: the ring size, clamped by any
+    /// fault-injection cap.
+    #[inline]
+    pub fn effective_capacity(&self) -> usize {
+        self.capacity.min(self.cap_limit)
+    }
+
+    /// Cap the queue's effective capacity at `limit` slots (fault
+    /// injection: queue-capacity pressure). Purely host-side — admission
+    /// checks simply see a smaller ring; charges are unchanged. Packets
+    /// already queued beyond the new limit stay until drained. Restore
+    /// with [`clear_capacity_limit`](Self::clear_capacity_limit).
+    pub fn set_capacity_limit(&mut self, limit: usize) {
+        assert!(limit >= 1, "a zero-capacity queue would deadlock the pipeline");
+        self.cap_limit = limit;
+    }
+
+    /// Remove any fault-injection capacity cap.
+    pub fn clear_capacity_limit(&mut self) {
+        self.cap_limit = usize::MAX;
+    }
+
     /// Free descriptor slots (how large a burst [`push_burst`](Self::push_burst)
-    /// can accept right now).
+    /// can accept right now), under the effective capacity.
     pub fn free_slots(&self) -> usize {
-        self.capacity - self.q.len()
+        self.effective_capacity().saturating_sub(self.q.len())
     }
 
     /// Cache line holding descriptor slot `idx`.
@@ -135,6 +170,7 @@ impl SpscQueue {
             ctx.shared_read(self.tail_addr);
             if self.is_full() {
                 self.full_rejects += 1;
+                self.rejected_packets += 1;
                 return Err(pkt);
             }
             // Write the descriptor slot and publish the new head.
@@ -177,6 +213,7 @@ impl SpscQueue {
             let n = self.free_slots().min(pkts.len());
             if n < pkts.len() {
                 self.full_rejects += 1;
+                self.rejected_packets += (pkts.len() - n) as u64;
             }
             let mut last_line = None;
             for _ in 0..n {
@@ -470,6 +507,61 @@ mod tests {
         let mut ctx = m.ctx(CoreId(0));
         assert_eq!(q.push_burst(&mut ctx, &mut v), 4);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn rejections_count_every_packet() {
+        let mut m = machine();
+        let mut q = queue(&mut m, 8);
+        let mut ctx = m.ctx(CoreId(0));
+        let mut v: Vec<Packet> = (0..12).map(pkt_with).collect();
+        assert_eq!(q.push_burst(&mut ctx, &mut v), 8);
+        assert_eq!(q.full_rejects, 1, "event count: once per cut burst");
+        assert_eq!(q.rejected_packets, 4, "packet count: one per refused packet");
+        // Scalar rejections count per packet too.
+        for p in v.drain(..) {
+            assert!(q.push(&mut ctx, p).is_err());
+        }
+        assert_eq!(q.full_rejects, 5);
+        assert_eq!(q.rejected_packets, 8);
+    }
+
+    #[test]
+    fn capacity_limit_shrinks_admission_then_restores() {
+        let mut m = machine();
+        let mut q = queue(&mut m, 8);
+        {
+            let mut ctx = m.ctx(CoreId(0));
+            let mut v: Vec<Packet> = (0..6).map(pkt_with).collect();
+            assert_eq!(q.push_burst(&mut ctx, &mut v), 6);
+        }
+        // Cap below current occupancy: full, zero free slots, but the
+        // queued packets stay and drain normally.
+        q.set_capacity_limit(3);
+        assert_eq!(q.effective_capacity(), 3);
+        assert!(q.is_full());
+        assert_eq!(q.free_slots(), 0);
+        {
+            let mut ctx = m.ctx(CoreId(0));
+            assert!(q.push(&mut ctx, packet()).is_err());
+        }
+        {
+            let mut ctx = m.ctx(CoreId(1));
+            let mut out = Vec::new();
+            assert_eq!(q.pop_burst(&mut ctx, 4, &mut out), 4);
+        }
+        // Under the cap again: 2 queued, 1 free slot.
+        assert_eq!(q.free_slots(), 1);
+        {
+            let mut ctx = m.ctx(CoreId(0));
+            q.push(&mut ctx, packet()).unwrap();
+            assert!(q.push(&mut ctx, packet()).is_err());
+        }
+        q.clear_capacity_limit();
+        assert_eq!(q.effective_capacity(), 8);
+        assert_eq!(q.free_slots(), 5, "full ring capacity restored");
+        let mut ctx = m.ctx(CoreId(0));
+        q.push(&mut ctx, packet()).unwrap();
     }
 
     #[test]

@@ -45,11 +45,19 @@ use pp_sim::arena::DomainAllocator;
 use pp_sim::counters::TagId;
 use pp_sim::ctx::ExecCtx;
 use pp_sim::engine::{CoreTask, TurnResult};
+use pp_sim::fault::{DropStats, TaskControls};
 use pp_sim::latency::LatencyHistogram;
 use pp_sim::nic::NicQueue;
 use pp_sim::types::{Addr, CACHE_LINE};
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// Byte the corruption fault flips: Ethernet header (14 B) + the IPv4
+/// header-checksum offset (10), i.e. the checksum's high byte. The flip
+/// guarantees `verify_checksum` fails, driving the packet down
+/// `CheckIpHeader`'s drop path. Applied *after* generation — the traffic
+/// generator's frames stay pristine (it asserts against its builders).
+const CORRUPT_BYTE: usize = 24;
 
 /// Models the framework's own per-packet memory footprint: Click's
 /// instruction stream, element objects, and packet annotations touch many
@@ -118,6 +126,22 @@ pub struct FlowTask {
     /// Per-packet ingress→egress simulated cycles (shared handle; see
     /// [`latency_handle`](Self::latency_handle)).
     latency: Rc<RefCell<LatencyHistogram>>,
+    /// Loss ledger (shared handle; see [`drop_handle`](Self::drop_handle)).
+    /// Host-side and charge-free, like the latency histogram.
+    drops: Rc<RefCell<DropStats>>,
+    /// Live fault/degradation knobs (shared handle; see
+    /// [`controls_handle`](Self::controls_handle)). All-zero = no-op.
+    controls: Rc<TaskControls>,
+    /// Pacing state: simulated time up to which arrival credit has been
+    /// accrued (`u64::MAX` = pacing inactive, accrual restarts on enable).
+    pace_last: u64,
+    /// Pacing state: arrivals accrued but not yet admitted (capped at the
+    /// NIC ring depth; the excess overflows at the wire).
+    pace_credit: u64,
+    /// Deterministic per-mille accumulator for the shed policy.
+    shed_acc: u32,
+    /// Deterministic per-mille accumulator for the corruption fault.
+    corrupt_acc: u32,
     /// Packets fully processed (forwarded or consciously dropped).
     pub processed: u64,
     /// Packets lost to buffer-pool exhaustion (should stay zero in the
@@ -149,6 +173,12 @@ impl FlowTask {
             pkts: Vec::new(),
             outcome: BatchOutcome::default(),
             latency: Rc::new(RefCell::new(LatencyHistogram::new())),
+            drops: Rc::new(RefCell::new(DropStats::default())),
+            controls: TaskControls::new_handle(),
+            pace_last: u64::MAX,
+            pace_credit: 0,
+            shed_acc: 0,
+            corrupt_acc: 0,
             processed: 0,
             rx_failures: 0,
         }
@@ -164,6 +194,62 @@ impl FlowTask {
     /// boxing the task into the engine; reset it after warmup).
     pub fn latency_handle(&self) -> Rc<RefCell<LatencyHistogram>> {
         self.latency.clone()
+    }
+
+    /// Shared handle to the loss ledger (same protocol as
+    /// [`latency_handle`](Self::latency_handle): clone before boxing,
+    /// reset after warmup).
+    pub fn drop_handle(&self) -> Rc<RefCell<DropStats>> {
+        self.drops.clone()
+    }
+
+    /// Shared handle to the live fault/degradation knobs (clone before
+    /// boxing; all knobs idle at zero, in which state the task is
+    /// bit-for-bit identical to one without the handle).
+    pub fn controls_handle(&self) -> Rc<TaskControls> {
+        self.controls.clone()
+    }
+
+    /// Shared handle to the NIC queue (clone before boxing). Fault drivers
+    /// use it to seize/release buffers
+    /// ([`NicQueue::seize_buffers`](pp_sim::nic::NicQueue::seize_buffers))
+    /// for pool-pressure scenarios.
+    pub fn nic_handle(&self) -> Rc<RefCell<NicQueue>> {
+        self.nic.clone()
+    }
+
+    /// Accrue offered-load pacing credit up to `now` and admit at most
+    /// `want` arrivals. Credit beyond the NIC ring depth overflows at the
+    /// wire and is counted ([`DropStats::wire_overflow`]). Host-side only.
+    fn pace_admit(&mut self, now: u64, want: u64) -> u64 {
+        let pace = self.controls.pace_cycles.get();
+        if pace == 0 {
+            self.pace_last = u64::MAX;
+            self.pace_credit = 0;
+            return want;
+        }
+        if self.pace_last == u64::MAX {
+            // Pacing just engaged: start accrual here, with the packet
+            // that is arriving now as the initial credit.
+            self.pace_last = now;
+            self.pace_credit = 1;
+        } else {
+            let elapsed = now.saturating_sub(self.pace_last);
+            let accrued = elapsed / pace;
+            self.pace_last += accrued * pace;
+            self.pace_credit += accrued;
+        }
+        let depth = self.nic.borrow().ring_depth();
+        if self.pace_credit > depth {
+            let overflow = self.pace_credit - depth;
+            self.pace_credit = depth;
+            let mut d = self.drops.borrow_mut();
+            d.offered += overflow;
+            d.wire_overflow += overflow;
+        }
+        let admit = self.pace_credit.min(want);
+        self.pace_credit -= admit;
+        admit
     }
 
     /// Attach framework churn (see [`FrameworkChurn`]). The standard
@@ -211,11 +297,56 @@ impl FlowTask {
         // Ingress = the start of the turn, when the wire delivered the
         // packet: residence time covers the packet's own processing.
         let ingress = ctx.now();
+        // Fault/degradation hooks: all host-side branches, dead when every
+        // knob is zero (the default), so the unfaulted path is bit-for-bit
+        // what it was before the hooks existed.
+        let mut corrupt_pm = 0u32;
+        if self.controls.is_active() {
+            if self.pace_admit(ingress, 1) == 0 {
+                // Paced wire is quiet: idle this turn (the engine charges
+                // the poll cost, advancing time so credit accrues).
+                return TurnResult::Idle;
+            }
+            let stall = self.controls.stall_cycles.get();
+            if stall > 0 {
+                // Frequency derate: the core loses this many cycles of
+                // every turn to the (modeled) slower clock.
+                ctx.compute(stall, 0);
+            }
+            let shed_pm = u32::from(self.controls.shed_per_mille.get());
+            if shed_pm > 0 {
+                self.shed_acc += shed_pm;
+                if self.shed_acc >= 1000 {
+                    self.shed_acc -= 1000;
+                    let mut d = self.drops.borrow_mut();
+                    d.offered += 1;
+                    d.shed += 1;
+                    drop(d);
+                    // Shedding is cheap but not free: the drop decision
+                    // costs the per-packet overhead (and advances the
+                    // clock, as Progress requires).
+                    CostModel::charge(ctx, self.cost.per_packet_overhead);
+                    return TurnResult::Progress;
+                }
+            }
+            corrupt_pm = u32::from(self.controls.corrupt_per_mille.get());
+        } else if self.pace_last != u64::MAX {
+            // Pacing just disengaged: forget stale accrual state.
+            self.pace_last = u64::MAX;
+            self.pace_credit = 0;
+        }
         // The wire always has a packet waiting (the paper's generators run
         // at line rate); generation itself is host-side and free — and
         // refills a recycled carcass, so it allocates nothing.
         let mut pkt = self.pool.take();
         self.gen.next_packet_into(&mut pkt);
+        if corrupt_pm > 0 {
+            self.corrupt_acc += corrupt_pm;
+            if self.corrupt_acc >= 1000 {
+                self.corrupt_acc -= 1000;
+                pkt.data[CORRUPT_BYTE] ^= 0xFF;
+            }
+        }
         CostModel::charge(ctx, self.cost.per_packet_overhead);
         if let Some(churn) = &mut self.churn {
             churn.touch(ctx);
@@ -223,10 +354,14 @@ impl FlowTask {
         let buf = self.nic.borrow_mut().rx(ctx, pkt.len() as u64);
         let Some(buf) = buf else {
             self.rx_failures += 1;
+            let mut d = self.drops.borrow_mut();
+            d.offered += 1;
+            d.nic_rx_exhausted += 1;
             self.pool.put(pkt);
             return TurnResult::Progress; // time advanced by the failed rx
         };
         pkt.buf_addr = buf;
+        let drops_before = self.graph.drops;
         match self.graph.run(ctx, pkt) {
             GraphOutcome::Consumed => {
                 if let Some(p) = self.graph.take_consumed() {
@@ -239,6 +374,11 @@ impl FlowTask {
                 }
                 self.pool.put(p);
             }
+        }
+        {
+            let mut d = self.drops.borrow_mut();
+            d.offered += 1;
+            d.element_dropped += self.graph.drops - drops_before;
         }
         self.processed += 1;
         ctx.retire_packet();
@@ -257,27 +397,84 @@ impl FlowTask {
         // The whole vector arrived by the start of the turn; see the
         // scalar path for the ingress convention.
         let ingress = ctx.now();
+        // Fault/degradation hooks — host-side, dead at zero (see the
+        // scalar path). Generation below is also host-side and charge-free,
+        // so hoisting it above the charges changes no simulated state: the
+        // simulated sequence (fixed overhead, per-packet overhead, churn,
+        // rx_batch) is bit-for-bit the unfaulted one when the vector is
+        // whole.
+        let mut admitted = n as u64;
+        let mut corrupt_pm = 0u32;
+        let mut shed_pm = 0u32;
+        if self.controls.is_active() {
+            admitted = self.pace_admit(ingress, n as u64);
+            if admitted == 0 {
+                return TurnResult::Idle; // paced wire is quiet this turn
+            }
+            let stall = self.controls.stall_cycles.get();
+            if stall > 0 {
+                ctx.compute(stall, 0);
+            }
+            shed_pm = u32::from(self.controls.shed_per_mille.get());
+            corrupt_pm = u32::from(self.controls.corrupt_per_mille.get());
+        } else if self.pace_last != u64::MAX {
+            self.pace_last = u64::MAX;
+            self.pace_credit = 0;
+        }
+        self.pkts.clear();
+        self.lens.clear();
+        let mut shed_count = 0u64;
+        for _ in 0..admitted {
+            if shed_pm > 0 {
+                self.shed_acc += shed_pm;
+                if self.shed_acc >= 1000 {
+                    self.shed_acc -= 1000;
+                    shed_count += 1;
+                    continue;
+                }
+            }
+            let mut pkt = self.pool.take();
+            self.gen.next_packet_into(&mut pkt);
+            if corrupt_pm > 0 {
+                self.corrupt_acc += corrupt_pm;
+                if self.corrupt_acc >= 1000 {
+                    self.corrupt_acc -= 1000;
+                    pkt.data[CORRUPT_BYTE] ^= 0xFF;
+                }
+            }
+            self.lens.push(pkt.len() as u64);
+            self.pkts.push(pkt);
+        }
+        if shed_count > 0 {
+            let mut d = self.drops.borrow_mut();
+            d.offered += shed_count;
+            d.shed += shed_count;
+        }
+        let generated = self.pkts.len();
+        if generated == 0 {
+            // The whole admitted burst was shed: the drop decisions cost
+            // the fixed turn overhead (and advance the clock).
+            CostModel::charge(ctx, self.cost.batch_fixed_overhead);
+            return TurnResult::Progress;
+        }
         // Per-batch fixed overhead plus the per-packet residue; the split
         // sums to the scalar per-packet overhead, so n = 1 charges exactly
         // the scalar amount (see CostModel).
         CostModel::charge(ctx, self.cost.batch_fixed_overhead);
-        CostModel::charge_n(ctx, self.cost.batch_per_packet_overhead, n as u64);
+        CostModel::charge_n(ctx, self.cost.batch_per_packet_overhead, generated as u64);
         if let Some(churn) = &mut self.churn {
             // Once per batch: the framework's code + metadata footprint is
             // re-referenced across the vector (I-cache amortization).
             churn.touch(ctx);
         }
-        self.pkts.clear();
-        self.lens.clear();
-        for _ in 0..n {
-            let mut pkt = self.pool.take();
-            self.gen.next_packet_into(&mut pkt);
-            self.lens.push(pkt.len() as u64);
-            self.pkts.push(pkt);
-        }
         self.bufs.clear();
         let delivered = self.nic.borrow_mut().rx_batch(ctx, &self.lens, &mut self.bufs);
-        self.rx_failures += (n - delivered) as u64;
+        self.rx_failures += (generated - delivered) as u64;
+        {
+            let mut d = self.drops.borrow_mut();
+            d.offered += generated as u64;
+            d.nic_rx_exhausted += (generated - delivered) as u64;
+        }
         if delivered == 0 {
             self.pool.put_all(&mut self.pkts);
             return TurnResult::Progress; // time advanced by the failed rx
@@ -291,6 +488,9 @@ impl FlowTask {
             pkt.buf_addr = buf;
         }
         self.graph.run_batch_into(ctx, &mut self.pkts, &mut self.outcome);
+        if !self.outcome.dropped.is_empty() {
+            self.drops.borrow_mut().element_dropped += self.outcome.dropped.len() as u64;
+        }
         self.bufs.clear();
         self.bufs.extend(
             self.outcome
@@ -324,6 +524,13 @@ impl FlowTask {
 impl CoreTask for FlowTask {
     fn run_turn(&mut self, ctx: &mut ExecCtx<'_>) -> TurnResult {
         if self.batch_size >= 1 {
+            // The ShrinkBatch rung of the degradation ladder re-sizes the
+            // live task through the shared control block (the task is boxed
+            // inside the engine, so `set_batch_size` is out of reach).
+            let over = self.controls.batch_override.get();
+            if over != 0 && over != self.batch_size {
+                self.set_batch_size(over);
+            }
             self.run_turn_batched(ctx)
         } else {
             self.run_turn_scalar(ctx)
@@ -365,10 +572,17 @@ pub struct SourceStage {
     pkts: Vec<Packet>,
     /// Reusable batch outcome for the front chain.
     outcome: BatchOutcome,
+    /// Loss ledger for the whole pipeline (share it with the paired
+    /// [`SinkStage::share_drops`]; see [`drop_handle`](Self::drop_handle)).
+    drops: Rc<RefCell<DropStats>>,
     /// Packets handed to the next stage.
     pub forwarded: u64,
     /// Turns skipped because the queue was full.
     pub stalls: u64,
+    /// Packets lost to buffer-pool exhaustion at this stage's NIC (counted
+    /// per packet; the drop is also ledgered in
+    /// [`DropStats::nic_rx_exhausted`] — it is never silent).
+    pub rx_failures: u64,
 }
 
 impl SourceStage {
@@ -395,9 +609,18 @@ impl SourceStage {
             pool: Rc::new(RefCell::new(PacketPool::new())),
             pkts: Vec::new(),
             outcome: BatchOutcome::default(),
+            drops: Rc::new(RefCell::new(DropStats::default())),
             forwarded: 0,
             stalls: 0,
+            rx_failures: 0,
         }
+    }
+
+    /// Shared handle to the pipeline's loss ledger (clone before boxing,
+    /// reset after warmup; hand it to [`SinkStage::share_drops`] so both
+    /// stages write one ledger).
+    pub fn drop_handle(&self) -> Rc<RefCell<DropStats>> {
+        self.drops.clone()
     }
 
     /// Attach framework churn to this stage.
@@ -446,9 +669,16 @@ impl SourceStage {
             nic.rx(ctx, pkt.len() as u64)
         };
         let Some(buf) = buf else {
+            // The silent-drop bug, fixed: pool exhaustion is a counted
+            // loss, surfaced both on the stage and in the shared ledger.
+            self.rx_failures += 1;
+            let mut d = self.drops.borrow_mut();
+            d.offered += 1;
+            d.nic_rx_exhausted += 1;
             self.pool.borrow_mut().put(pkt);
             return TurnResult::Progress;
         };
+        self.drops.borrow_mut().offered += 1;
         pkt.buf_addr = buf;
         pkt.ingress_cycle = ingress;
         let drops_before = self.graph.drops;
@@ -462,11 +692,15 @@ impl SourceStage {
                 if let Some(p) = self.graph.take_consumed() {
                     self.pool.borrow_mut().put(p);
                 }
+                self.drops.borrow_mut().element_dropped +=
+                    self.graph.drops - drops_before;
             }
             GraphOutcome::Returned(p) => {
                 // A front-chain drop ends the packet here: recycle locally
                 // instead of forwarding it downstream.
                 if self.graph.drops > drops_before {
+                    self.drops.borrow_mut().element_dropped +=
+                        self.graph.drops - drops_before;
                     if p.buf_addr != 0 {
                         self.nic.borrow_mut().recycle(ctx, p.buf_addr);
                     }
@@ -475,7 +709,9 @@ impl SourceStage {
                 }
                 let mut q = self.out.borrow_mut();
                 if let Err(rejected) = q.push(ctx, p) {
-                    // Lost the race against fullness; recycle locally.
+                    // Lost the race against fullness; recycle locally —
+                    // a counted queue-full drop, not a silent bounce.
+                    self.drops.borrow_mut().queue_full += 1;
                     if rejected.buf_addr != 0 {
                         self.nic.borrow_mut().recycle(ctx, rejected.buf_addr);
                     }
@@ -523,6 +759,12 @@ impl SourceStage {
         }
         self.bufs.clear();
         let delivered = self.nic.borrow_mut().rx_batch(ctx, &self.lens, &mut self.bufs);
+        self.rx_failures += (n - delivered) as u64;
+        {
+            let mut d = self.drops.borrow_mut();
+            d.offered += n as u64;
+            d.nic_rx_exhausted += (n - delivered) as u64;
+        }
         if delivered == 0 {
             self.pool.borrow_mut().put_all(&mut self.pkts);
             return TurnResult::Progress; // time advanced by the failed rx
@@ -545,12 +787,16 @@ impl SourceStage {
         } else {
             self.graph.run_batch_into(ctx, &mut self.pkts, &mut self.outcome);
         }
+        if !self.outcome.dropped.is_empty() {
+            self.drops.borrow_mut().element_dropped += self.outcome.dropped.len() as u64;
+        }
         let to_queue = &mut self.outcome.returned;
         let pushed = self.out.borrow_mut().push_burst(ctx, to_queue);
         self.forwarded += pushed as u64;
         if !to_queue.is_empty() {
             // Queue filled under us (cannot happen with the room check
-            // above, but handled for robustness).
+            // above, but handled for robustness): counted queue-full drops.
+            self.drops.borrow_mut().queue_full += to_queue.len() as u64;
             self.stalls += 1;
         }
         // Recycle locally: front-chain drops plus any burst-rejected tail.
@@ -624,6 +870,9 @@ pub struct SinkStage {
     /// Per-packet ingress→egress simulated cycles across the whole
     /// pipeline (stamped by the source stage at receive).
     latency: Rc<RefCell<LatencyHistogram>>,
+    /// Loss ledger; [`share_drops`](Self::share_drops) points it at the
+    /// paired [`SourceStage`]'s so the pipeline keeps one ledger.
+    drops: Rc<RefCell<DropStats>>,
     /// Packets completed at this stage.
     pub processed: u64,
 }
@@ -649,6 +898,7 @@ impl SinkStage {
             pool: Rc::new(RefCell::new(PacketPool::new())),
             outcome: BatchOutcome::default(),
             latency: Rc::new(RefCell::new(LatencyHistogram::new())),
+            drops: Rc::new(RefCell::new(DropStats::default())),
             processed: 0,
         }
     }
@@ -666,6 +916,13 @@ impl SinkStage {
     /// [`crate::pipelines`] wire this).
     pub fn share_pool(&mut self, pool: Rc<RefCell<PacketPool>>) {
         self.pool = pool;
+    }
+
+    /// Write this stage's losses into `drops` — normally the paired
+    /// [`SourceStage::drop_handle`], so the whole pipeline keeps one
+    /// ledger (the standard builders in [`crate::pipelines`] wire this).
+    pub fn share_drops(&mut self, drops: Rc<RefCell<DropStats>>) {
+        self.drops = drops;
     }
 
     /// Switch to burst handoff, draining up to `batch` packets per engine
@@ -718,6 +975,7 @@ impl SinkStage {
             ctx.shared_read_struct(pkt.buf_addr, 64);
         }
         let ingress = pkt.ingress_cycle;
+        let drops_before = self.graph.drops;
         match self.graph.run(ctx, pkt) {
             GraphOutcome::Consumed => {
                 if let Some(p) = self.graph.take_consumed() {
@@ -731,6 +989,9 @@ impl SinkStage {
                 }
                 self.pool.borrow_mut().put(p);
             }
+        }
+        if self.graph.drops > drops_before {
+            self.drops.borrow_mut().element_dropped += self.graph.drops - drops_before;
         }
         self.processed += 1;
         ctx.retire_packet();
@@ -768,6 +1029,9 @@ impl SinkStage {
         self.ingress.extend(self.scratch.iter().map(|p| p.ingress_cycle));
         let n = self.scratch.len() as u64;
         self.graph.run_batch_into(ctx, &mut self.scratch, &mut self.outcome);
+        if !self.outcome.dropped.is_empty() {
+            self.drops.borrow_mut().element_dropped += self.outcome.dropped.len() as u64;
+        }
         self.bufs.clear();
         self.bufs.extend(
             self.outcome
@@ -1068,6 +1332,198 @@ mod tests {
         assert_eq!(flow.processed, 40, "4 delivered per 8-packet batch");
         assert_eq!(flow.rx_failures, 40, "4 undelivered per batch");
         assert_eq!(nic.borrow().free_buffers(), 4, "no buffer leak");
+    }
+
+    #[test]
+    fn drop_stats_are_exact_under_forced_exhaustion() {
+        // 4 buffers, 8-packet batches: every turn offers 8, delivers 4.
+        // The ledger must account for every single packet.
+        let mut m = Machine::new(MachineConfig::westmere());
+        let cost = CostModel::default();
+        let nic = Rc::new(RefCell::new(NicQueue::new(
+            m.allocator(MemDomain(0)),
+            64,
+            4,
+            2048,
+        )));
+        let mut g = ElementGraph::new(cost);
+        let a = g.add(Box::new(CheckIpHeader::new(cost)));
+        let t = g.add(Box::new(ToDevice::new(nic.clone(), false)));
+        g.chain(&[a, t]);
+        let mut flow = FlowTask::new(
+            "exhaust",
+            TrafficGen::new(TrafficSpec::random_dst(64, 3)),
+            nic,
+            g,
+            cost,
+        )
+        .with_batch_size(8);
+        let drops = flow.drop_handle();
+        for _ in 0..10 {
+            let mut ctx = m.ctx(CoreId(0));
+            flow.run_turn(&mut ctx);
+        }
+        let d = *drops.borrow();
+        assert_eq!(d.offered, 80, "every offered packet is ledgered");
+        assert_eq!(d.nic_rx_exhausted, 40, "exactly the undelivered half");
+        assert_eq!(d.total_dropped(), 40, "no other loss category fires");
+        assert_eq!(
+            d.offered,
+            flow.processed + d.undelivered(),
+            "conservation: offered == processed + undelivered drops"
+        );
+    }
+
+    #[test]
+    fn corruption_control_drives_the_check_ip_drop_path() {
+        // 250 per mille: the deterministic accumulator corrupts exactly
+        // every 4th packet, and CheckIpHeader must drop each one.
+        let mut m = Machine::new(MachineConfig::westmere());
+        let mut flow = simple_flow(&mut m, 11);
+        let drops = flow.drop_handle();
+        let controls = flow.controls_handle();
+        controls.corrupt_per_mille.set(250);
+        for _ in 0..40 {
+            let mut ctx = m.ctx(CoreId(0));
+            flow.run_turn(&mut ctx);
+        }
+        let d = *drops.borrow();
+        assert_eq!(flow.processed, 40, "corrupted packets still complete (as drops)");
+        assert_eq!(d.element_dropped, 10, "every 4th packet fails the checksum");
+        assert_eq!(flow.graph().drops, 10, "the graph agrees");
+        // Turning the knob off stops the corruption.
+        controls.corrupt_per_mille.set(0);
+        for _ in 0..20 {
+            let mut ctx = m.ctx(CoreId(0));
+            flow.run_turn(&mut ctx);
+        }
+        assert_eq!(drops.borrow().element_dropped, 10, "no further drops");
+    }
+
+    #[test]
+    fn shed_control_drops_half_the_load_with_exact_accounting() {
+        let mut m = Machine::new(MachineConfig::westmere());
+        let mut flow = simple_flow(&mut m, 17);
+        let drops = flow.drop_handle();
+        let controls = flow.controls_handle();
+        controls.shed_per_mille.set(500);
+        for _ in 0..30 {
+            let mut ctx = m.ctx(CoreId(0));
+            assert_eq!(flow.run_turn(&mut ctx), TurnResult::Progress);
+        }
+        let d = *drops.borrow();
+        assert_eq!(d.shed, 15, "exactly every 2nd arrival shed");
+        assert_eq!(flow.processed, 15);
+        assert_eq!(d.offered, 30);
+        assert_eq!(d.offered, flow.processed + d.undelivered(), "conservation");
+    }
+
+    #[test]
+    fn pacing_throttles_throughput_without_loss() {
+        // Pace far below the service rate: the flow idles between
+        // arrivals, processes everything that arrives, and loses nothing.
+        let run = |pace: u64| {
+            let mut m = Machine::new(MachineConfig::westmere());
+            let flow = simple_flow(&mut m, 23);
+            let drops = flow.drop_handle();
+            let controls = flow.controls_handle();
+            controls.pace_cycles.set(pace);
+            let mut e = Engine::new(m);
+            e.set_task(CoreId(0), Box::new(flow));
+            e.run_until(2_000_000);
+            let task = e.take_task(CoreId(0)).unwrap();
+            // Recover the concrete flow for its processed count.
+            let d = *drops.borrow();
+            (d, task)
+        };
+        let (d, _task) = run(20_000); // one packet per 20k cycles: ~100 arrivals
+        assert!(d.offered >= 90 && d.offered <= 110, "paced arrivals: {}", d.offered);
+        assert_eq!(d.total_dropped(), 0, "throttling is lossless backpressure");
+    }
+
+    #[test]
+    fn overdriven_pacing_overflows_at_the_wire_with_exact_accounting() {
+        // Pace of 1 cycle/packet wildly exceeds the service rate: credit
+        // accrues past the NIC ring depth and the excess is a *counted*
+        // wire drop. Conservation must still hold exactly.
+        let mut m = Machine::new(MachineConfig::westmere());
+        let flow = simple_flow(&mut m, 29);
+        let drops = flow.drop_handle();
+        let controls = flow.controls_handle();
+        controls.pace_cycles.set(1);
+        let mut e = Engine::new(m);
+        e.set_task(CoreId(0), Box::new(flow));
+        e.run_until(1_000_000);
+        let task = e.take_task(CoreId(0)).unwrap();
+        drop(task);
+        let d = *drops.borrow();
+        assert!(d.wire_overflow > 0, "overload must surface as wire drops");
+        assert_eq!(d.nic_rx_exhausted, 0, "pool never exhausts at batch 0/scalar");
+        // offered = processed + overflow (+ nothing else): the ledger
+        // accounts for every arrival the 1-cycle pace generated.
+        assert_eq!(d.offered, (d.offered - d.total_dropped()) + d.wire_overflow);
+    }
+
+    #[test]
+    fn batch_override_resizes_the_live_task() {
+        let mut m = Machine::new(MachineConfig::westmere());
+        let mut flow = simple_flow(&mut m, 31).with_batch_size(32);
+        let controls = flow.controls_handle();
+        controls.batch_override.set(4);
+        let mut ctx = m.ctx(CoreId(0));
+        flow.run_turn(&mut ctx);
+        assert_eq!(flow.batch_size(), 4, "override takes effect at the next turn");
+        assert_eq!(flow.processed, 4, "the turn ran at the overridden size");
+    }
+
+    #[test]
+    fn pipeline_queue_full_drops_are_counted_not_silent() {
+        // Tiny queue, sink never drains: the source stage must count every
+        // loss path — and with the scalar stage's is_full pre-check, the
+        // packets that cannot be parked simply stall (backpressure).
+        let mut m = Machine::new(MachineConfig::westmere());
+        let cost = CostModel::default();
+        let nic = Rc::new(RefCell::new(NicQueue::new(
+            m.allocator(MemDomain(0)),
+            64,
+            32,
+            2048,
+        )));
+        let q = Rc::new(RefCell::new(SpscQueue::new(m.allocator(MemDomain(0)), 4, cost)));
+        let mut src = SourceStage::new(
+            "front",
+            TrafficGen::new(TrafficSpec::random_dst(64, 3)),
+            nic.clone(),
+            ElementGraph::new(cost),
+            q.clone(),
+            cost,
+        );
+        let drops = src.drop_handle();
+        for _ in 0..50 {
+            let mut ctx = m.ctx(CoreId(0));
+            src.run_turn(&mut ctx);
+        }
+        let d = *drops.borrow();
+        assert_eq!(src.forwarded, 4, "queue holds 4");
+        assert_eq!(d.offered, 4, "the stalled turns offered nothing (backpressure)");
+        assert_eq!(d.queue_full, 0, "is_full pre-check stalls instead of dropping");
+        assert!(src.stalls >= 46);
+        // Burst mode with a shrunken cap: the queue fills mid-burst and the
+        // rejected tail is a counted queue-full drop.
+        let mut src = src.with_batch_size(8);
+        q.borrow_mut().clear_capacity_limit();
+        {
+            let mut q = q.borrow_mut();
+            let mut sink_ctx = m.ctx(CoreId(1));
+            let mut out = Vec::new();
+            q.pop_burst(&mut sink_ctx, 4, &mut out); // drain
+        }
+        drops.borrow_mut().reset();
+        let mut ctx = m.ctx(CoreId(0));
+        src.run_turn(&mut ctx);
+        let d = *drops.borrow();
+        assert_eq!(d.offered, 4, "burst sized to the queue's 4 free slots");
+        assert_eq!(d.queue_full, 0, "partial-burst backpressure, not drops");
     }
 
     #[test]

@@ -427,8 +427,10 @@ pub fn build_pipeline(
     )
     .with_churn(churn);
     // Close the host-side carcass loop: the sink returns completed
-    // packets' frame allocations to the source's generator pool.
+    // packets' frame allocations to the source's generator pool. The two
+    // stages also share one loss ledger.
     sink.share_pool(src.pool_handle());
+    sink.share_drops(src.drop_handle());
     if pipe.burst >= 1 {
         src = src.with_batch_size(pipe.burst);
         sink = sink.with_batch_size(pipe.burst);
@@ -549,6 +551,7 @@ pub fn two_phase_pipeline(
     back.chain(&[b, t]);
     let mut sink = SinkStage::new("2phase-back", queue.clone(), back, nic);
     sink.share_pool(src.pool_handle());
+    sink.share_drops(src.drop_handle());
     if pipe.burst >= 1 {
         src = src.with_batch_size(pipe.burst);
         sink = sink.with_batch_size(pipe.burst);

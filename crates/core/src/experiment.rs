@@ -176,6 +176,10 @@ pub struct FlowResult {
     pub working_set_bytes: u64,
     /// Ingress→egress residence-time percentiles over the window.
     pub latency: LatencySummary,
+    /// Loss ledger over the window: where every packet that did not make
+    /// it died ([`DropStats`](pp_sim::fault::DropStats) conservation: `offered` = delivered +
+    /// drops). All-zero in an unfaulted run.
+    pub drops: pp_sim::fault::DropStats,
 }
 
 /// A scenario's complete measurement.
@@ -248,24 +252,27 @@ pub fn run_scenario(s: &Scenario) -> ScenarioResult {
     let mut placements = Vec::with_capacity(built.len());
     for (p, b, ws) in built {
         let lat = b.task.latency_handle();
+        let drops = b.task.drop_handle();
         engine.set_task(p.core, Box::new(b.task));
-        placements.push((p, ws, lat));
+        placements.push((p, ws, lat, drops));
     }
     let warmup = s.params.warmup_cycles(engine.machine.config());
     let window = s.params.window_cycles(engine.machine.config());
-    // Warm up, discard the warmup's latency samples (histogram recording is
-    // host-side and charge-free, so this leaves every counter bit-for-bit
-    // as `engine.measure(warmup, window)` would), then measure the window.
+    // Warm up, discard the warmup's latency samples and loss counts (both
+    // recordings are host-side and charge-free, so this leaves every
+    // counter bit-for-bit as `engine.measure(warmup, window)` would), then
+    // measure the window.
     engine.run_until(warmup);
-    for (_, _, lat) in &placements {
+    for (_, _, lat, drops) in &placements {
         lat.borrow_mut().reset();
+        drops.borrow_mut().reset();
     }
     let meas = engine.measure(0, window);
     let freq_ghz = engine.machine.config().freq_ghz;
 
     let flows = placements
         .iter()
-        .map(|(p, ws, lat)| {
+        .map(|(p, ws, lat, drops)| {
             let cm = meas.core(p.core).expect("flow core measured");
             FlowResult {
                 core: p.core,
@@ -275,6 +282,7 @@ pub fn run_scenario(s: &Scenario) -> ScenarioResult {
                 tags: cm.counts.tags.clone(),
                 working_set_bytes: *ws,
                 latency: LatencySummary::from_histogram(&lat.borrow(), freq_ghz),
+                drops: *drops.borrow(),
             }
         })
         .collect();
@@ -453,6 +461,22 @@ mod tests {
         assert_eq!(r.flows.len(), 1);
         assert!(r.flows[0].metrics.pps > 50_000.0);
         assert!(r.flows[0].working_set_bytes > 1 << 20);
+    }
+
+    #[test]
+    fn unfaulted_runs_report_zero_loss_with_full_conservation() {
+        for batch in [0usize, 16] {
+            let r = run_scenario(&solo_scenario(
+                FlowType::Ip,
+                ExpParams::quick().with_batch(batch),
+            ));
+            let f = &r.flows[0];
+            assert_eq!(f.drops.total_dropped(), 0, "batch {batch}: no loss at steady state");
+            assert_eq!(
+                f.drops.offered, f.counts.packets,
+                "batch {batch}: every offered packet was retired"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,428 @@
+//! Windowed runtime guard: detect model drift, degrade gracefully, climb
+//! back.
+//!
+//! The prediction machinery (profiles → [`Predictor`](crate::predictor) →
+//! [`BatchController`](crate::batch_control)) promises an *envelope*:
+//! at least this much throughput, at most this much tail latency, at most
+//! this much loss. PRs 4–5 only ever checked the promise once, right after
+//! calibration, against the same steady load the model was fitted on. The
+//! guard closes the loop at run time: every measurement window it compares
+//! what actually happened ([`WindowObservation`]) against the envelope
+//! ([`GuardEnvelope`]) and, on *sustained* violation, walks a
+//! hysteresis-protected **degradation ladder**:
+//!
+//! 1. [`DegradeLevel::Reprobe`] — the model may merely be stale: request a
+//!    re-probe (with exponential backoff between retries, so a persistent
+//!    disturbance does not drown the system in calibration work);
+//! 2. [`DegradeLevel::ShrinkBatch`] — trade throughput for tail latency by
+//!    re-sizing the live flow down the
+//!    [`BatchController`](crate::batch_control)'s candidate ladder;
+//! 3. [`DegradeLevel::Throttle`] — pace the offered load below capacity
+//!    (lossless backpressure, the
+//!    [`ControlAction::Throttle`](crate::batch_control::ControlAction)
+//!    admission outcome applied at run time);
+//! 4. [`DegradeLevel::Shed`] — explicitly drop a fraction of arrivals at
+//!    the wire, the last resort: loss, but *counted, bounded, and chosen*,
+//!    never silent.
+//!
+//! Hysteresis works in both directions: it takes
+//! [`GuardConfig::violations_to_degrade`] consecutive bad windows to step
+//! down a rung and [`GuardConfig::clean_to_recover`] consecutive good ones
+//! to step back up, so a single noisy window can neither trigger
+//! degradation nor abort it. The guard itself is pure decision logic — it
+//! never touches the machine; the chaos driver (pp-bench `repro chaos`)
+//! maps each level onto the mechanism (`TaskControls`, the controller's
+//! `choose`, the pace knob). That separation keeps it unit-testable as a
+//! state machine and reusable by the ROADMAP's fleet controller.
+
+use std::fmt;
+
+/// The predictor's promise for one flow: the bounds a healthy window must
+/// stay inside.
+#[derive(Debug, Clone, Copy)]
+pub struct GuardEnvelope {
+    /// Minimum acceptable delivered throughput, packets/sec.
+    pub min_pps: f64,
+    /// Maximum acceptable p99 residence time, microseconds.
+    pub max_p99_us: f64,
+    /// Maximum acceptable loss fraction (drops / offered).
+    pub max_loss_frac: f64,
+}
+
+impl GuardEnvelope {
+    /// The first envelope dimension `o` violates, if any.
+    pub fn violation(&self, o: &WindowObservation) -> Option<&'static str> {
+        if o.loss_frac > self.max_loss_frac {
+            Some("loss")
+        } else if o.pps < self.min_pps {
+            Some("throughput")
+        } else if o.p99_us > self.max_p99_us {
+            Some("p99")
+        } else {
+            None
+        }
+    }
+}
+
+/// What one measurement window actually delivered.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowObservation {
+    /// Delivered throughput over the window, packets/sec.
+    pub pps: f64,
+    /// p99 residence time over the window, microseconds.
+    pub p99_us: f64,
+    /// Loss fraction over the window (drops / offered).
+    pub loss_frac: f64,
+}
+
+/// Guard tuning: hysteresis depths and the re-probe backoff schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct GuardConfig {
+    /// Consecutive violating windows before stepping down one rung.
+    pub violations_to_degrade: u32,
+    /// Consecutive clean windows before stepping back up one rung.
+    pub clean_to_recover: u32,
+    /// Initial re-probe backoff, in windows (the first retry interval).
+    pub backoff_base: u32,
+    /// Backoff ceiling, in windows (doubling stops here).
+    pub backoff_max: u32,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            violations_to_degrade: 2,
+            clean_to_recover: 3,
+            backoff_base: 1,
+            backoff_max: 8,
+        }
+    }
+}
+
+/// The degradation ladder, from healthy to last-resort. Ordered:
+/// `Normal < Reprobe < ShrinkBatch < Throttle < Shed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeLevel {
+    /// Inside the envelope; no intervention.
+    Normal,
+    /// Re-probe the model (retry with exponential backoff).
+    Reprobe,
+    /// Shrink the batch via the batch controller's candidate ladder.
+    ShrinkBatch,
+    /// Pace offered load below capacity (lossless backpressure).
+    Throttle,
+    /// Shed a fraction of load at the wire (explicit, counted drops).
+    Shed,
+}
+
+impl DegradeLevel {
+    /// One rung further down the ladder (saturates at [`Shed`](Self::Shed)).
+    pub fn degrade(self) -> Self {
+        match self {
+            DegradeLevel::Normal => DegradeLevel::Reprobe,
+            DegradeLevel::Reprobe => DegradeLevel::ShrinkBatch,
+            DegradeLevel::ShrinkBatch => DegradeLevel::Throttle,
+            DegradeLevel::Throttle | DegradeLevel::Shed => DegradeLevel::Shed,
+        }
+    }
+
+    /// One rung back up (saturates at [`Normal`](Self::Normal)).
+    pub fn recover(self) -> Self {
+        match self {
+            DegradeLevel::Shed => DegradeLevel::Throttle,
+            DegradeLevel::Throttle => DegradeLevel::ShrinkBatch,
+            DegradeLevel::ShrinkBatch => DegradeLevel::Reprobe,
+            DegradeLevel::Reprobe | DegradeLevel::Normal => DegradeLevel::Normal,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DegradeLevel::Normal => "normal",
+            DegradeLevel::Reprobe => "reprobe",
+            DegradeLevel::ShrinkBatch => "shrink-batch",
+            DegradeLevel::Throttle => "throttle",
+            DegradeLevel::Shed => "shed",
+        }
+    }
+}
+
+impl fmt::Display for DegradeLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded ladder move: at window `window` the guard moved `from` →
+/// `to` because of `cause` (an envelope dimension, or "recovered").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardTransition {
+    /// Window index (counted from the guard's first observation).
+    pub window: u32,
+    /// Level before the move.
+    pub from: DegradeLevel,
+    /// Level after the move.
+    pub to: DegradeLevel,
+    /// Why: the violated envelope dimension, or "recovered".
+    pub cause: &'static str,
+}
+
+/// What the guard wants done after a window.
+#[derive(Debug, Clone, Copy)]
+pub struct GuardDirective {
+    /// The ladder level now in force.
+    pub level: DegradeLevel,
+    /// Whether to re-probe the model *this* window (subject to the
+    /// exponential-backoff schedule while degradation persists).
+    pub reprobe_now: bool,
+    /// Whether `level` changed at this observation.
+    pub changed: bool,
+}
+
+/// The windowed runtime guard. Feed it one [`WindowObservation`] per
+/// measurement window; it answers with the ladder level to enforce.
+#[derive(Debug, Clone)]
+pub struct RuntimeGuard {
+    envelope: GuardEnvelope,
+    config: GuardConfig,
+    level: DegradeLevel,
+    violation_streak: u32,
+    clean_streak: u32,
+    /// Current re-probe retry interval, in windows (doubles per retry).
+    backoff: u32,
+    /// Windows until the next re-probe is allowed while degraded.
+    cooldown: u32,
+    window: u32,
+    transitions: Vec<GuardTransition>,
+}
+
+impl RuntimeGuard {
+    /// A guard holding `envelope` with `config` hysteresis.
+    pub fn new(envelope: GuardEnvelope, config: GuardConfig) -> Self {
+        RuntimeGuard {
+            envelope,
+            config,
+            level: DegradeLevel::Normal,
+            violation_streak: 0,
+            clean_streak: 0,
+            backoff: config.backoff_base.max(1),
+            cooldown: 0,
+            window: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The envelope currently enforced.
+    pub fn envelope(&self) -> &GuardEnvelope {
+        &self.envelope
+    }
+
+    /// Replace the envelope (after a re-probe refits the model to the new
+    /// operating point).
+    pub fn set_envelope(&mut self, envelope: GuardEnvelope) {
+        self.envelope = envelope;
+    }
+
+    /// The ladder level currently in force.
+    pub fn level(&self) -> DegradeLevel {
+        self.level
+    }
+
+    /// Every ladder move so far, in order.
+    pub fn transitions(&self) -> &[GuardTransition] {
+        &self.transitions
+    }
+
+    /// Feed one window's measurement; returns the directive to enforce
+    /// until the next window.
+    pub fn observe(&mut self, o: &WindowObservation) -> GuardDirective {
+        let w = self.window;
+        self.window += 1;
+        let mut changed = false;
+        match self.envelope.violation(o) {
+            Some(cause) => {
+                self.clean_streak = 0;
+                self.violation_streak += 1;
+                if self.violation_streak >= self.config.violations_to_degrade
+                    && self.level != DegradeLevel::Shed
+                {
+                    let from = self.level;
+                    self.level = self.level.degrade();
+                    self.violation_streak = 0;
+                    self.transitions.push(GuardTransition {
+                        window: w,
+                        from,
+                        to: self.level,
+                        cause,
+                    });
+                    changed = true;
+                }
+            }
+            None => {
+                self.violation_streak = 0;
+                self.clean_streak += 1;
+                if self.clean_streak >= self.config.clean_to_recover
+                    && self.level != DegradeLevel::Normal
+                {
+                    let from = self.level;
+                    self.level = self.level.recover();
+                    self.clean_streak = 0;
+                    self.transitions.push(GuardTransition {
+                        window: w,
+                        from,
+                        to: self.level,
+                        cause: "recovered",
+                    });
+                    changed = true;
+                }
+            }
+        }
+        // Re-probe scheduling: while any degradation is in force, retry
+        // the model probe on an exponential-backoff clock (base, 2×base,
+        // 4×base, … capped at backoff_max). Full recovery resets the
+        // schedule.
+        let mut reprobe_now = false;
+        if self.level == DegradeLevel::Normal {
+            self.backoff = self.config.backoff_base.max(1);
+            self.cooldown = 0;
+        } else if self.cooldown == 0 {
+            reprobe_now = true;
+            self.cooldown = self.backoff;
+            self.backoff = (self.backoff * 2).min(self.config.backoff_max.max(1));
+        } else {
+            self.cooldown -= 1;
+        }
+        GuardDirective { level: self.level, reprobe_now, changed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn envelope() -> GuardEnvelope {
+        GuardEnvelope { min_pps: 1_000_000.0, max_p99_us: 100.0, max_loss_frac: 0.005 }
+    }
+
+    fn good() -> WindowObservation {
+        WindowObservation { pps: 2_000_000.0, p99_us: 40.0, loss_frac: 0.0 }
+    }
+
+    fn bad() -> WindowObservation {
+        WindowObservation { pps: 400_000.0, p99_us: 40.0, loss_frac: 0.0 }
+    }
+
+    #[test]
+    fn one_bad_window_does_not_degrade() {
+        let mut g = RuntimeGuard::new(envelope(), GuardConfig::default());
+        let d = g.observe(&bad());
+        assert_eq!(d.level, DegradeLevel::Normal);
+        assert!(!d.changed);
+        // A clean window resets the streak; another single violation still
+        // does not trip the ladder.
+        g.observe(&good());
+        let d = g.observe(&bad());
+        assert_eq!(d.level, DegradeLevel::Normal, "hysteresis holds");
+        assert!(g.transitions().is_empty());
+    }
+
+    #[test]
+    fn sustained_violation_walks_the_whole_ladder_and_back() {
+        let mut g = RuntimeGuard::new(envelope(), GuardConfig::default());
+        let mut seen = vec![g.level()];
+        for _ in 0..10 {
+            let d = g.observe(&bad());
+            if d.changed {
+                seen.push(d.level);
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![
+                DegradeLevel::Normal,
+                DegradeLevel::Reprobe,
+                DegradeLevel::ShrinkBatch,
+                DegradeLevel::Throttle,
+                DegradeLevel::Shed,
+            ],
+            "every second bad window steps one rung down, saturating at Shed"
+        );
+        // Recovery: every third clean window climbs one rung.
+        let mut climb = Vec::new();
+        for _ in 0..12 {
+            let d = g.observe(&good());
+            if d.changed {
+                climb.push(d.level);
+            }
+        }
+        assert_eq!(
+            climb,
+            vec![
+                DegradeLevel::Throttle,
+                DegradeLevel::ShrinkBatch,
+                DegradeLevel::Reprobe,
+                DegradeLevel::Normal,
+            ]
+        );
+        assert_eq!(g.level(), DegradeLevel::Normal);
+        // The trace names the violated dimension and the recovery.
+        assert!(g.transitions().iter().take(4).all(|t| t.cause == "throughput"));
+        assert!(g.transitions().iter().skip(4).all(|t| t.cause == "recovered"));
+    }
+
+    #[test]
+    fn loss_dominates_the_violation_report() {
+        let g = RuntimeGuard::new(envelope(), GuardConfig::default());
+        let o = WindowObservation { pps: 1.0, p99_us: 1e9, loss_frac: 1.0 };
+        assert_eq!(g.envelope().violation(&o), Some("loss"));
+        let o = WindowObservation { pps: 1.0, p99_us: 1e9, loss_frac: 0.0 };
+        assert_eq!(g.envelope().violation(&o), Some("throughput"));
+        let o = WindowObservation { pps: 2e6, p99_us: 1e9, loss_frac: 0.0 };
+        assert_eq!(g.envelope().violation(&o), Some("p99"));
+        assert_eq!(g.envelope().violation(&good()), None);
+    }
+
+    #[test]
+    fn reprobe_retries_follow_exponential_backoff() {
+        let mut g = RuntimeGuard::new(envelope(), GuardConfig::default());
+        let mut reprobe_windows = Vec::new();
+        for w in 0..25u32 {
+            let d = g.observe(&bad());
+            if d.reprobe_now {
+                reprobe_windows.push(w);
+            }
+        }
+        // First reprobe when degradation engages (window 1: second bad
+        // window), then gaps of 1, 2, 4, 8, 8 … windows (base 1, cap 8).
+        let gaps: Vec<u32> =
+            reprobe_windows.windows(2).map(|p| p[1] - p[0]).collect();
+        assert_eq!(reprobe_windows[0], 1, "first reprobe at the first degrade");
+        assert_eq!(&gaps[..4], &[2, 3, 5, 9], "doubling backoff (gap = backoff+1)");
+        // Recovery resets the schedule.
+        for _ in 0..20 {
+            g.observe(&good());
+        }
+        assert_eq!(g.level(), DegradeLevel::Normal);
+        let d1 = g.observe(&bad());
+        assert!(!d1.reprobe_now, "still Normal: no probe");
+        let d2 = g.observe(&bad());
+        assert!(d2.reprobe_now, "fresh degradation probes immediately again");
+    }
+
+    #[test]
+    fn envelope_can_be_refit_after_a_probe() {
+        let mut g = RuntimeGuard::new(envelope(), GuardConfig::default());
+        for _ in 0..2 {
+            g.observe(&bad());
+        }
+        assert_eq!(g.level(), DegradeLevel::Reprobe);
+        // The probe discovers the world really did change: accept the new
+        // operating point, and the same observation is now clean.
+        g.set_envelope(GuardEnvelope { min_pps: 300_000.0, ..envelope() });
+        for _ in 0..3 {
+            g.observe(&bad());
+        }
+        assert_eq!(g.level(), DegradeLevel::Normal, "recovered under the refit envelope");
+    }
+}

@@ -27,6 +27,10 @@
 //!   subject to a p99 latency budget, verifies the decision against the
 //!   measured latency histogram, and re-validates the contention predictor
 //!   on the batched datapath (`repro adaptive`).
+//! * **Runtime guard** ([`guard`]) — beyond the paper: the windowed
+//!   envelope check and hysteresis-protected degradation ladder
+//!   (re-probe → shrink batch → throttle → shed) that keeps the closed
+//!   loop honest under churn, overload, and loss (`repro chaos`).
 //!
 //! The measurement substrate is `pp-sim` (a deterministic multicore
 //! simulator) with workloads from `pp-click`; see ARCHITECTURE.md at the
@@ -60,6 +64,7 @@
 pub mod admission;
 pub mod batch_control;
 pub mod experiment;
+pub mod guard;
 pub mod model;
 pub mod persist;
 pub mod placement;
@@ -82,6 +87,10 @@ pub mod prelude {
         corun_against_solo, corun_scenario, default_threads, run_corun, run_many,
         run_scenario, solo_scenario, ContentionConfig, CoRunOutcome, ExpParams,
         FlowPlacement, FlowResult, LatencySummary, Scenario, ScenarioResult,
+    };
+    pub use crate::guard::{
+        DegradeLevel, GuardConfig, GuardDirective, GuardEnvelope, GuardTransition,
+        RuntimeGuard, WindowObservation,
     };
     pub use crate::model::{
         eq1_drop, worst_case_drop, BatchAmortization, CacheModel, CrossCoreHandoff,

@@ -86,6 +86,7 @@ pub mod config;
 pub mod counters;
 pub mod ctx;
 pub mod engine;
+pub mod fault;
 pub mod interconnect;
 pub mod latency;
 pub(crate) mod lockstep;
@@ -104,6 +105,10 @@ pub mod prelude {
     pub use crate::counters::{CounterSnapshot, Counts, DerivedMetrics, TagId};
     pub use crate::ctx::ExecCtx;
     pub use crate::engine::{CoreMeasurement, CoreTask, Engine, Measurement, TurnResult};
+    pub use crate::fault::{
+        DropStats, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultTransition,
+        TaskControls,
+    };
     pub use crate::interconnect::Interconnect;
     pub use crate::latency::LatencyHistogram;
     pub use crate::machine::{CoreState, Machine};

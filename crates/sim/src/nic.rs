@@ -42,6 +42,15 @@ pub struct NicQueue {
     pub tx_count: u64,
     /// RX attempts that failed because the pool was empty.
     pub alloc_failures: u64,
+    /// **Packets** dropped to pool exhaustion — unlike `alloc_failures`
+    /// (one per cut-short batch, a driver-event count), this counts every
+    /// individual packet that could not be delivered, which is what loss
+    /// accounting ([`DropStats::nic_rx_exhausted`](crate::fault::DropStats))
+    /// needs for exact conservation.
+    pub rx_dropped: u64,
+    /// Buffers withheld from the pool by [`seize_buffers`](Self::seize_buffers)
+    /// (fault injection: pool-capacity pressure).
+    seized: Vec<u32>,
     /// Byte stride between consecutive pool buffers when uniform (0 when
     /// irregular): enables O(1) buffer-index recovery in `index_of`.
     buf_stride: u64,
@@ -98,6 +107,8 @@ impl NicQueue {
             rx_count: 0,
             tx_count: 0,
             alloc_failures: 0,
+            rx_dropped: 0,
+            seized: Vec::new(),
             buf_stride,
             prewarm_scratch: Vec::new(),
             t_rx_desc: TagId::intern("rx_desc"),
@@ -117,6 +128,42 @@ impl NicQueue {
     #[inline]
     pub fn free_buffers(&self) -> usize {
         self.free.len()
+    }
+
+    /// Descriptors per ring — the depth of wire-side buffering a paced
+    /// traffic source can model before arrivals overflow at the wire.
+    #[inline]
+    pub fn ring_depth(&self) -> u64 {
+        self.n_desc
+    }
+
+    /// Withhold up to `n` buffers from the pool (fault injection:
+    /// pool-capacity pressure). Purely host-side — no simulated charges —
+    /// the seized buffers simply stop being allocatable until
+    /// [`release_seized`](Self::release_seized). Returns how many were
+    /// actually seized (bounded by the buffers currently free).
+    pub fn seize_buffers(&mut self, n: usize) -> usize {
+        let take = n.min(self.free.len());
+        // Take from the bottom of the LIFO stack: the *coldest* buffers
+        // leave the pool, so the hot reuse pattern of the survivors is
+        // disturbed as little as possible.
+        self.seized.extend(self.free.drain(..take));
+        take
+    }
+
+    /// Return every seized buffer to the pool (fault end). Host-side only.
+    pub fn release_seized(&mut self) {
+        // Returned below the live stack top, again to preserve the hot
+        // LIFO reuse order of the buffers that stayed.
+        let mut restored: Vec<u32> = std::mem::take(&mut self.seized);
+        restored.append(&mut self.free);
+        self.free = restored;
+    }
+
+    /// Buffers currently withheld by fault injection.
+    #[inline]
+    pub fn seized_buffers(&self) -> usize {
+        self.seized.len()
     }
 
     /// Receive one packet of `pkt_len` bytes: fetch and write back the RX
@@ -141,6 +188,7 @@ impl NicQueue {
         });
         let Some(buf_idx) = buf_idx else {
             self.alloc_failures += 1;
+            self.rx_dropped += 1;
             return None;
         };
         self.next_rx += 1;
@@ -223,6 +271,7 @@ impl NicQueue {
             }
             let Some(buf_idx) = self.free.pop() else {
                 self.alloc_failures += 1;
+                self.rx_dropped += (pkt_lens.len() - delivered) as u64;
                 break;
             };
             self.next_rx += 1;
@@ -680,8 +729,60 @@ mod tests {
         let n = q.rx_batch(&mut ctx, &[64; 12], &mut bufs);
         assert_eq!(n, 8, "only the pool's 8 buffers can be delivered");
         assert_eq!(q.alloc_failures, 1, "the cut-short attempt counts once");
+        assert_eq!(q.rx_dropped, 4, "every undelivered packet counts");
         assert_eq!(q.free_buffers(), 0);
         q.recycle_batch(&mut ctx, &bufs);
+        assert_eq!(q.free_buffers(), 8);
+    }
+
+    #[test]
+    fn scalar_rx_exhaustion_counts_each_dropped_packet() {
+        let (mut m, mut q) = setup();
+        let mut ctx = m.ctx(CoreId(0));
+        let mut held = Vec::new();
+        for _ in 0..8 {
+            held.push(q.rx(&mut ctx, 64).unwrap());
+        }
+        for _ in 0..3 {
+            assert!(q.rx(&mut ctx, 64).is_none());
+        }
+        assert_eq!(q.alloc_failures, 3);
+        assert_eq!(q.rx_dropped, 3, "scalar drops count per packet too");
+    }
+
+    #[test]
+    fn seize_and_release_round_trip() {
+        let (mut m, mut q) = setup(); // 8 buffers
+        assert_eq!(q.seize_buffers(6), 6);
+        assert_eq!(q.free_buffers(), 2);
+        assert_eq!(q.seized_buffers(), 6);
+        let mut ctx = m.ctx(CoreId(0));
+        let mut bufs = Vec::new();
+        let n = q.rx_batch(&mut ctx, &[64; 4], &mut bufs);
+        assert_eq!(n, 2, "pressured pool delivers only what is left");
+        assert_eq!(q.rx_dropped, 2);
+        q.recycle_batch(&mut ctx, &bufs);
+        q.release_seized();
+        assert_eq!(q.free_buffers(), 8, "release restores the full pool");
+        assert_eq!(q.seized_buffers(), 0);
+        // The pool still works end to end after a seize/release cycle.
+        bufs.clear();
+        assert_eq!(q.rx_batch(&mut ctx, &[64; 8], &mut bufs), 8);
+        q.tx_batch(&mut ctx, &bufs);
+        assert_eq!(q.free_buffers(), 8);
+    }
+
+    #[test]
+    fn seize_is_bounded_by_free_buffers() {
+        let (mut m, mut q) = setup();
+        let mut ctx = m.ctx(CoreId(0));
+        let held: Vec<_> = (0..5).map(|_| q.rx(&mut ctx, 64).unwrap()).collect();
+        assert_eq!(q.seize_buffers(100), 3, "only the free remainder is seizable");
+        assert_eq!(q.free_buffers(), 0);
+        for b in held {
+            q.recycle(&mut ctx, b);
+        }
+        q.release_seized();
         assert_eq!(q.free_buffers(), 8);
     }
 }

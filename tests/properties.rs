@@ -547,6 +547,53 @@ proptest! {
         }
     }
 
+    // ---------------- fault injection ----------------
+
+    /// A seeded fault plan resolves to one timeline: the transition trace
+    /// is identical however `advance` is chunked, a fresh injector from
+    /// the same plan replays it bit-for-bit, and every event begins
+    /// exactly once strictly before it ends exactly once.
+    #[test]
+    fn fault_injector_trace_is_deterministic_and_balanced(
+        seed in any::<u64>(),
+        events in proptest::collection::vec(any::<u64>(), 1..12),
+        jumps in proptest::collection::vec(1u32..9, 1..40),
+    ) {
+        use predictable_pp::sim::fault::{FaultInjector, FaultKind, FaultPlan};
+        let mut plan = FaultPlan::seeded(seed);
+        for (i, &e) in events.iter().enumerate() {
+            // Decode (at, duration, jitter) from one generated word: the
+            // compat proptest shim has no tuple strategies.
+            let at = (e % 40) as u32;
+            let dur = 1 + ((e >> 8) % 19) as u32;
+            let jitter = ((e >> 16) % 6) as u32;
+            plan = plan.with_jittered(
+                at, at + dur, jitter,
+                FaultKind::RateBurst { multiplier: i as u32 + 2 },
+            );
+        }
+        let horizon = plan.last_window() + 2;
+        let mut stepped = FaultInjector::new(plan.clone());
+        for w in 0..=horizon { stepped.advance(w); }
+        let mut jumped = FaultInjector::new(plan.clone());
+        let mut w = 0u32;
+        for &j in &jumps {
+            w = (w + j).min(horizon);
+            jumped.advance(w);
+        }
+        jumped.advance(horizon);
+        let mut replay = FaultInjector::new(plan);
+        replay.advance(horizon);
+        prop_assert_eq!(stepped.trace(), jumped.trace(), "chunking changed the trace");
+        prop_assert_eq!(stepped.trace(), replay.trace(), "same seed must replay identically");
+        for i in 0..events.len() {
+            let evs: Vec<_> = stepped.trace().iter().filter(|t| t.event == i).collect();
+            prop_assert_eq!(evs.len(), 2, "event {} must begin and end once", i);
+            prop_assert!(evs[0].begin && !evs[1].begin);
+            prop_assert!(evs[0].window < evs[1].window);
+        }
+    }
+
     // ---------------- stream prefetcher ----------------
 
     /// Prefetch targets always stay inside the training access's 4 KB page
