@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro <subcommand> [--quick] [--threads N] [--levels N] [--out DIR]
+//! repro <subcommand> [--quick] [--threads N] [--levels N] [--out DIR] [--seed N]
 //!
 //! subcommands:
 //!   table1     Table 1  — solo-run characteristics
@@ -28,6 +28,9 @@
 //!   chaos      extras   — fault injection + graceful degradation: seeded
 //!                         disturbance timelines vs the runtime guard's
 //!                         ladder (CHAOS_results.json)
+//!   fleet-chaos extras  — the tenant supervisor under sustained faults:
+//!                         circuit-breaker admission, core failover,
+//!                         drift re-calibration (FLEET_CHAOS_results.json)
 //!   all        everything above, in order (except perf: wall-dependent)
 //! ```
 //!
@@ -35,7 +38,10 @@
 //! runs); default is paper scale. `--packets N` sizes the measurement
 //! window so a scalar flow covers roughly N packets — one knob for
 //! simulation size shared by every sweep (it overrides the base window
-//! regardless of flag order). Results land in `results/*.csv`.
+//! regardless of flag order). `--seed N` replaces the master seed every
+//! derived seed (workload structure, fault-plan jitter, supervisor probe
+//! jitter) mixes from — replay a failing chaos/fleet-chaos timeline by
+//! passing the seed the report named. Results land in `results/*.csv`.
 
 use pp_bench::experiments;
 use pp_bench::RunCtx;
@@ -43,8 +49,8 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|pipeline|pipeline-batch|throttle|ablate|extended|cat|mixes|batch|adaptive|perf|chaos|all> \
-         [--quick] [--packets N] [--threads N] [--levels N] [--out DIR]"
+        "usage: repro <table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|pipeline|pipeline-batch|throttle|ablate|extended|cat|mixes|batch|adaptive|perf|chaos|fleet-chaos|all> \
+         [--quick] [--packets N] [--threads N] [--levels N] [--out DIR] [--seed N]"
     );
     std::process::exit(2);
 }
@@ -63,6 +69,7 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut levels: Option<u8> = None;
     let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut seed: Option<u64> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -86,6 +93,11 @@ fn main() {
                 i += 1;
                 out_dir = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
             }
+            "--seed" => {
+                i += 1;
+                seed =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 usage();
@@ -105,6 +117,9 @@ fn main() {
     }
     if let Some(o) = out_dir {
         ctx.out_dir = o;
+    }
+    if let Some(s) = seed {
+        ctx.params.seed = s;
     }
 
     println!(
@@ -173,6 +188,9 @@ fn main() {
         "chaos" => {
             experiments::chaos::run(&ctx);
         }
+        "fleet-chaos" => {
+            experiments::fleet_chaos::run(&ctx);
+        }
         "all" => {
             experiments::table1::run(&ctx);
             experiments::fig2::run(&ctx);
@@ -193,6 +211,7 @@ fn main() {
             experiments::batch::run(&ctx);
             experiments::adaptive::run(&ctx);
             experiments::chaos::run(&ctx);
+            experiments::fleet_chaos::run(&ctx);
         }
         _ => usage(),
     }

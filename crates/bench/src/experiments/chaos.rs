@@ -505,15 +505,17 @@ fn run_pipeline_scenario(ctx: &RunCtx, name: &'static str, plan: FaultPlan) -> S
     }
 }
 
-/// The scenario roster: one per fault family, plus the null plan.
-fn flow_scenarios() -> Vec<FlowScenario> {
+/// The scenario roster: one per fault family, plus the null plan. Every
+/// plan seed mixes the CLI master seed (`--seed`) so a failing timeline
+/// can be replayed exactly.
+fn flow_scenarios(seed: u64) -> Vec<FlowScenario> {
     vec![
         FlowScenario {
             name: "rate-burst",
             // 8× the baseline offered rate for 8 windows (±1 window of
             // seeded jitter): long enough for the ladder to reach the
             // throttle rung and prove it stops the loss mid-fault.
-            plan: FaultPlan::seeded(0xA11CE).with_jittered(
+            plan: FaultPlan::seeded(seed ^ 0xA11CE).with_jittered(
                 2,
                 10,
                 1,
@@ -526,7 +528,7 @@ fn flow_scenarios() -> Vec<FlowScenario> {
             name: "churn",
             // A flash crowd: four SYN_MAX aggressors appear on the
             // target's socket, then vanish.
-            plan: FaultPlan::seeded(0xB0B)
+            plan: FaultPlan::seeded(seed ^ 0xB0B)
                 .with(2, 6, FaultKind::CompetitorChurn { competitors: 4 }),
             offered_load: None,
             envelope_floor: 0.9,
@@ -536,7 +538,7 @@ fn flow_scenarios() -> Vec<FlowScenario> {
             // Long enough (10 violating windows) to walk the full ladder
             // into Shed — nothing short of load shedding answers a core
             // that simply got slower.
-            plan: FaultPlan::seeded(0xD0D0)
+            plan: FaultPlan::seeded(seed ^ 0xD0D0)
                 .with(2, 12, FaultKind::FreqDerate { stall_cycles: 100_000 }),
             offered_load: None,
             envelope_floor: 0.7,
@@ -546,7 +548,7 @@ fn flow_scenarios() -> Vec<FlowScenario> {
             // Seize 496 of the 512 NIC buffers: a 32-packet rx can fill
             // only half its batch — until the shrink rung fits the batch
             // to the starved pool.
-            plan: FaultPlan::seeded(0xF00D).with(2, 6, FaultKind::PoolPressure { seize: 496 }),
+            plan: FaultPlan::seeded(seed ^ 0xF00D).with(2, 6, FaultKind::PoolPressure { seize: 496 }),
             offered_load: None,
             envelope_floor: 0.7,
         },
@@ -554,7 +556,7 @@ fn flow_scenarios() -> Vec<FlowScenario> {
             name: "corruption",
             // 200‰ of frames arrive with a flipped checksum byte and must
             // die in CheckIpHeader — counted, not silent.
-            plan: FaultPlan::seeded(0xC0DE).with(2, 6, FaultKind::Corruption { per_mille: 200 }),
+            plan: FaultPlan::seeded(seed ^ 0xC0DE).with(2, 6, FaultKind::Corruption { per_mille: 200 }),
             offered_load: None,
             envelope_floor: 0.7,
         },
@@ -661,7 +663,7 @@ pub fn run(ctx: &RunCtx) -> Vec<ScenarioOutcome> {
     let controller = BatchController::calibrate(FlowType::Ip, ctx.params, ctx.threads);
 
     let mut outcomes = Vec::new();
-    for sc in &flow_scenarios() {
+    for sc in &flow_scenarios(ctx.params.seed) {
         println!("scenario {}…", sc.name);
         outcomes.push(run_flow_scenario(ctx, sc, &controller));
     }
@@ -672,7 +674,7 @@ pub fn run(ctx: &RunCtx) -> Vec<ScenarioOutcome> {
         // Clamp the 128-slot ring to a single slot: partial-burst
         // backpressure degenerates to scalar handoffs, de-amortizing the
         // per-burst fixed costs on both stages.
-        FaultPlan::seeded(0x5EA).with(2, 6, FaultKind::QueuePressure { cap: 1 }),
+        FaultPlan::seeded(ctx.params.seed ^ 0x5EA).with(2, 6, FaultKind::QueuePressure { cap: 1 }),
     ));
 
     let mut table = Table::new(
@@ -707,8 +709,8 @@ pub fn run(ctx: &RunCtx) -> Vec<ScenarioOutcome> {
                  \"reprobes\": {}, \"transitions\": {}, \"fault_events\": {}, \
                  \"offered\": {}, \"processed\": {}, \"nic_rx_exhausted\": {}, \
                  \"queue_full\": {}, \"element_dropped\": {}, \"wire_overflow\": {}, \
-                 \"shed\": {}, \"recovery_windows\": {}, \"conservation_slack\": {}, \
-                 \"max_backlog\": {}}}",
+                 \"shed\": {}, \"drained\": {}, \"recovery_windows\": {}, \
+                 \"conservation_slack\": {}, \"max_backlog\": {}}}",
                 o.name,
                 o.windows,
                 o.peak_level,
@@ -722,6 +724,7 @@ pub fn run(ctx: &RunCtx) -> Vec<ScenarioOutcome> {
                 o.drops.element_dropped,
                 o.drops.wire_overflow,
                 o.drops.shed,
+                o.drops.drained,
                 o.recovery_windows.map(|r| r.to_string()).unwrap_or_else(|| "null".into()),
                 o.conservation_slack,
                 o.max_backlog,

@@ -1,0 +1,923 @@
+//! `repro fleet-chaos` — the tenant supervisor under sustained multi-tenant
+//! faults (robustness, PR 7).
+//!
+//! `repro chaos` proved one flow survives a disturbance; this sweep proves
+//! the *fleet* does. Three tenants (IP, MON, FW) are planned onto socket 0
+//! by [`plan_socket`] (admission + per-flow batch choice), admitted to a
+//! [`Supervisor`] built [`from_plan`](Supervisor::from_plan), and driven
+//! through seeded per-tenant fault timelines
+//! ([`FaultPlan::with_target`]). The driver maps each
+//! [`SupervisorAction`] onto the mechanisms:
+//!
+//! * `Continue` — enforce the ladder level on the tenant's `TaskControls`
+//!   (same non-stacking actuation as `repro chaos`);
+//! * `Migrate` — [`Engine::migrate_task`] to a healthy spare core: the
+//!   drain hook forfeits in-flight pacing credit as counted `drained`
+//!   loss, the next window re-probes the envelope on the new placement
+//!   (fresh `set_model`), and the planned batch is re-asserted;
+//! * `Evict` — take the task out of the engine (drain via the same
+//!   counted path) and, for every parked window, refuse the tenant's
+//!   expected offered load as counted `drained` loss — eviction is loss,
+//!   but *chosen and ledgered*, never silent;
+//! * `Probe` — re-install the tenant (clock-aligned, like the chaos
+//!   churn joins) for exactly one half-open trial window, after an
+//!   [`AdmissionController::readmit`] check that prediction still admits
+//!   the candidate next to the resident flows;
+//! * `Recalibrate` — re-fit the model from the measured window
+//!   ([`Supervisor::set_model`]) instead of degrading on a stale envelope.
+//!
+//! Scenarios and the claims they assert:
+//!
+//! * **sick-core** — a targeted frequency derate strikes tenant 0's core.
+//!   In-place degradation cannot fix a slow core; the supervisor migrates
+//!   the tenant to a healthy spare within the migration budget and the
+//!   tenant recovers. Healthy co-tenants stay inside the interference
+//!   bound.
+//! * **poison-evict** — a corruption pathology *follows* tenant 1 (its
+//!   own traffic is bad, so no placement helps): migration burns the
+//!   budget without curing it, the ladder bottoms out at Shed, the
+//!   breaker trips, the tenant parks with counted `drained` loss, a
+//!   half-open probe during the fault fails (doubling the backoff), and
+//!   the probe after the fault clears re-admits it.
+//! * **drift** — a mild *environment* change (not a scripted fault: the
+//!   injector never reports it) derates tenant 2 inside its envelope.
+//!   The guard stays at Normal; the drift detector flags the stale model
+//!   and one re-calibration re-fits it — zero degradation, zero loss.
+//! * **fleet-empty-plan** — the null plan under a live supervisor is
+//!   bit-for-bit identical (clocks, counters, ledgers) to a
+//!   supervisor-free run: the control plane is free when idle.
+//!
+//! Every scenario additionally asserts the PR 6 conservation law per
+//! tenant: `offered = processed + undelivered`, exactly — the `drained`
+//! category keeps the ledger closed through migrations and evictions.
+//! `processed` is read from the raw core counters, anchored at every
+//! placement change — *not* by summing measurement windows. The windows
+//! cannot close a ledger on a multi-core socket: `Engine::measure`
+//! re-anchors each window at the fleet's max clock, so a core that lags
+//! it (every paced core lags the line-rate tenant's turn overshoot) first
+//! replays catch-up turns that land between the windows' snapshots.
+//! Those turns are real, counted work — only the raw counters see all of
+//! them.
+//!
+//! Loss-signal composition rule (extends PR 6's): shed drops *and*
+//! drained drops are excluded from the guard's loss signal — both are the
+//! control plane's own chosen actions, and a guard chasing its
+//! supervisor's drain would never converge. Both still appear in the
+//! conservation ledger.
+//!
+//! Results land in `fleet_chaos.csv` and `FLEET_CHAOS_results.json`
+//! (machine-readable, uploaded as a CI artifact).
+
+use crate::RunCtx;
+use pp_core::prelude::*;
+use pp_sim::config::MachineConfig;
+use pp_sim::engine::{CoreTask, Engine};
+use pp_sim::fault::{DropStats, FaultInjector, FaultKind, FaultPlan, TaskControls};
+use pp_sim::latency::LatencyHistogram;
+use pp_sim::machine::Machine;
+use pp_sim::types::{CoreId, MemDomain};
+use std::cell::RefCell;
+use std::io::Write as _;
+use std::rc::Rc;
+
+/// The fleet: one tenant per entry, resident on cores 0..N of socket 0.
+const FLEET: [FlowType; 3] = [FlowType::Ip, FlowType::Mon, FlowType::Fw];
+/// Cores available for placement (socket 0 of the Westmere config); cores
+/// beyond the fleet are healthy spares for failover.
+const SOCKET_CORES: usize = 6;
+/// Clean calibration windows used to fit each tenant's envelope.
+const CALIB_WINDOWS: u32 = 3;
+/// Offered load for paced tenants, as a fraction of solo capacity
+/// (tenant 2 runs at line rate so capacity drift shows in pps).
+const OFFERED_LOAD: f64 = 0.75;
+/// Envelope throughput floor as a fraction of calibrated pps.
+const ENVELOPE_FLOOR: f64 = 0.7;
+/// Admission pace at the Throttle rung (see `repro chaos` for margins).
+const THROTTLE_HEADROOM: f64 = 1.1;
+/// Wire-drop fraction at the Shed rung.
+const SHED_PER_MILLE: u16 = 50;
+/// Windows simulated past the last scripted event.
+const FLEET_TAIL: u32 = 18;
+/// Windows allowed between the last fault clearing (or the re-admission)
+/// and the tenant standing clean at Normal.
+pub const FLEET_RECOVERY_BOUND: u32 = 20;
+/// Healthy co-tenants must keep at least this fraction of their
+/// calibrated throughput while a sibling tenant is faulted — the stated
+/// interference bound (generous: quick-scale pacing runs ~9% under
+/// nominal before any interference).
+pub const INTERFERENCE_FLOOR: f64 = 0.55;
+
+/// One fleet scenario: a (possibly targeted) fault timeline plus an
+/// optional un-scripted environment change for the drift detector.
+struct FleetScenario {
+    name: &'static str,
+    plan: FaultPlan,
+    /// `(tenant, derate fraction, window)`: from `window` on, the tenant's
+    /// per-turn cost grows by `fraction` — applied directly, *not* through
+    /// the injector, so no window is ever flagged `fault_active`. This
+    /// models the world changing under a correct controller, which is
+    /// exactly what drift detection exists for.
+    env_change: Option<(usize, f64, u32)>,
+    /// Window after which recovery is expected (fault end / env change).
+    last_event: u32,
+}
+
+/// One tenant's outcome within a scenario.
+#[derive(Debug, Clone)]
+pub struct TenantOutcome {
+    /// The tenant's flow type.
+    pub flow: FlowType,
+    /// Supervisor lifetime counters (trips, probes, migrations, …).
+    pub stats: TenantStats,
+    /// Deepest ladder level the tenant's guard reached.
+    pub peak_level: DegradeLevel,
+    /// Ladder level at the end of the run.
+    pub final_level: DegradeLevel,
+    /// Whether the tenant ended the run admitted (not parked).
+    pub final_running: bool,
+    /// Guard ladder moves recorded (ring-capped).
+    pub guard_transitions: u64,
+    /// Mean calibrated throughput before any fault.
+    pub calib_pps: f64,
+    /// Worst per-window throughput while running.
+    pub min_pps: f64,
+    /// Final loss ledger (covers capacity probe + calibration + main loop).
+    pub drops: DropStats,
+    /// Packets retired over all measured windows.
+    pub processed: u64,
+    /// `offered − processed − undelivered` (0 = exact conservation).
+    pub conservation_slack: i64,
+    /// Windows from the scenario's last event until the tenant stood
+    /// clean at Normal (`None` = never).
+    pub recovery_windows: Option<u32>,
+}
+
+/// Everything one fleet scenario produced.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Main-loop windows simulated.
+    pub windows: u32,
+    /// Per-tenant outcomes, in fleet order (IP, MON, FW).
+    pub tenants: Vec<TenantOutcome>,
+}
+
+/// Driver-side runtime state for one tenant.
+struct TenantRt {
+    id: TenantId,
+    flow: FlowType,
+    core: CoreId,
+    batch: usize,
+    lat: Rc<RefCell<LatencyHistogram>>,
+    drops: Rc<RefCell<DropStats>>,
+    controls: Rc<TaskControls>,
+    /// Boxed task while evicted (the engine owns it while running).
+    parked: Option<Box<dyn CoreTask>>,
+    /// Solo-probe cycles per packet (at the planned batch, under fleet
+    /// contention — the pacing and accounting reference).
+    cpp: f64,
+    baseline_pace: u64,
+    offered_pace: u64,
+    throttle_pace: u64,
+    /// Persistent environment derate (drift scenario), cycles per turn.
+    env_stall: u64,
+    /// One-window envelope re-fit pending after a migration.
+    reprobe_pending: bool,
+    calib_pps: f64,
+    min_pps: f64,
+    peak: DegradeLevel,
+    prev: DropStats,
+    /// Exact packets retired by this tenant, flushed from the occupied
+    /// core's raw counter at every placement change (see the module docs:
+    /// windowed deltas cannot close the ledger on a multi-core socket).
+    processed: u64,
+    /// The occupied core's retired-packet total when this tenant was
+    /// (re-)installed on it — the anchor `processed` flushes against.
+    counter_base: u64,
+    recovery: Option<u32>,
+}
+
+/// Raw retired-packet total of one core (pending events included).
+fn core_packets(engine: &Engine, core: CoreId) -> u64 {
+    engine.machine.core(core).counters.total().packets
+}
+
+/// Summarize and reset a per-window latency histogram.
+fn drain_latency(lat: &Rc<RefCell<LatencyHistogram>>, freq_ghz: f64) -> LatencySummary {
+    let s = LatencySummary::from_histogram(&lat.borrow(), freq_ghz);
+    lat.borrow_mut().reset();
+    s
+}
+
+/// The guard's loss signal: unchosen drops only. Shed (PR 6) *and*
+/// drained (PR 7) are the control plane's own actions — excluded here,
+/// fully counted in the conservation ledger.
+fn observed_loss(cur: &DropStats, prev: &DropStats) -> f64 {
+    let offered = cur.offered.saturating_sub(prev.offered);
+    let lost = cur.total_dropped().saturating_sub(prev.total_dropped());
+    let chosen = (cur.shed + cur.drained).saturating_sub(prev.shed + prev.drained);
+    lost.saturating_sub(chosen) as f64 / offered.max(1) as f64
+}
+
+/// Map a ladder level onto one tenant's live knobs. Identical
+/// non-stacking rules to `repro chaos`: shrink and throttle never stack,
+/// and the full planned batch returns at the throttle rung.
+fn apply_ladder(t: &TenantRt, level: DegradeLevel) {
+    let pace = if level >= DegradeLevel::Throttle {
+        t.offered_pace.max(t.throttle_pace)
+    } else {
+        t.offered_pace
+    };
+    t.controls.pace_cycles.set(pace);
+    let batch = if level == DegradeLevel::ShrinkBatch {
+        (t.batch / 2).max(4)
+    } else {
+        t.batch
+    };
+    t.controls.batch_override.set(batch);
+    t.controls
+        .shed_per_mille
+        .set(if level == DegradeLevel::Shed { SHED_PER_MILLE } else { 0 });
+}
+
+/// Re-apply every tenant's stall knob from core sickness + environment
+/// derate (placement-dependent: a migration away from a sick core cures
+/// the sickness term, the environment term follows the tenant).
+fn refresh_stalls(tenants: &[TenantRt], sick: &[u64; SOCKET_CORES]) {
+    for t in tenants {
+        if t.parked.is_none() {
+            t.controls.stall_cycles.set(sick[t.core.index()] + t.env_stall);
+        }
+    }
+}
+
+/// First healthy, vacant socket-0 core (the migration/readmission target).
+fn healthy_spare(engine: &Engine, sick: &[u64; SOCKET_CORES]) -> Option<CoreId> {
+    (0..SOCKET_CORES as u16)
+        .map(CoreId)
+        .find(|&c| !engine.has_task(c) && sick[c.index()] == 0)
+}
+
+/// Expected offered arrivals in one window for a parked tenant — what the
+/// wire would have delivered, refused and ledgered as `drained`.
+fn parked_arrivals(t: &TenantRt, window: u64) -> u64 {
+    window
+        .checked_div(t.offered_pace)
+        .unwrap_or((window as f64 / t.cpp) as u64)
+}
+
+/// Shared fleet planning state (built once, used by every scenario).
+struct FleetPlanCtx<'a> {
+    plan: SocketPlan,
+    admission: AdmissionController<'a>,
+    slas: Vec<Sla>,
+}
+
+/// Build the fleet and run one scenario end to end. `supervised = false`
+/// runs the identical measurement schedule without a supervisor (the
+/// empty-plan twin).
+#[allow(clippy::needless_range_loop)]
+fn run_fleet_scenario(
+    ctx: &RunCtx,
+    sc: &FleetScenario,
+    plan_ctx: &FleetPlanCtx<'_>,
+    supervised: bool,
+) -> (FleetOutcome, Vec<u64>) {
+    let params = ctx.params;
+    let seed = params.seed ^ 0xF1EE7;
+    let mut machine = Machine::new(MachineConfig::westmere());
+    let mut tenants: Vec<TenantRt> = Vec::new();
+    let mut built_tasks = Vec::new();
+    for (i, &(flow, choice)) in plan_ctx.plan.batches.iter().enumerate() {
+        let built = flow.build_with_structure(
+            &mut machine,
+            MemDomain(0),
+            params.scale,
+            seed ^ (0x1111 * (i as u64 + 1)),
+            flow.structure_seed(seed),
+            choice.batch,
+        );
+        tenants.push(TenantRt {
+            id: TenantId(i),
+            flow,
+            core: CoreId(i as u16),
+            batch: choice.batch,
+            lat: built.task.latency_handle(),
+            drops: built.task.drop_handle(),
+            controls: built.task.controls_handle(),
+            parked: None,
+            cpp: 1.0,
+            baseline_pace: 0,
+            offered_pace: 0,
+            throttle_pace: 1,
+            env_stall: 0,
+            reprobe_pending: false,
+            calib_pps: 0.0,
+            min_pps: f64::INFINITY,
+            peak: DegradeLevel::Normal,
+            prev: DropStats::default(),
+            processed: 0,
+            counter_base: 0,
+            recovery: None,
+        });
+        built_tasks.push(built.task);
+    }
+    let mut engine = Engine::new(machine);
+    for (i, task) in built_tasks.into_iter().enumerate() {
+        engine.set_task(CoreId(i as u16), Box::new(task));
+    }
+
+    let window = params.window_cycles(engine.machine.config());
+    let warmup = params.warmup_cycles(engine.machine.config());
+    let freq = engine.machine.config().freq_ghz;
+    engine.run_until(warmup);
+    for t in tenants.iter_mut() {
+        t.lat.borrow_mut().reset();
+        t.drops.borrow_mut().reset();
+        t.counter_base = core_packets(&engine, t.core);
+    }
+
+    // Capacity probe: one unpaced window under full fleet contention fixes
+    // each tenant's cycles/packet, from which the paces derive. The last
+    // tenant stays at line rate (capacity drift must show in pps).
+    let cap = engine.measure(0, window);
+    for t in tenants.iter_mut() {
+        let pkts = cap.core(t.core).expect("tenant measured").counts.total.packets.max(1);
+        t.cpp = window as f64 / pkts as f64;
+        t.throttle_pace = (t.cpp * THROTTLE_HEADROOM).max(1.0) as u64;
+        t.baseline_pace = if t.id.0 + 1 < FLEET.len() {
+            (t.cpp / OFFERED_LOAD).max(1.0) as u64
+        } else {
+            0
+        };
+        t.offered_pace = t.baseline_pace;
+        t.controls.pace_cycles.set(t.baseline_pace);
+        drain_latency(&t.lat, freq);
+    }
+
+    // Calibration: fit each envelope at the fleet's operating point.
+    let mut pps_sum = vec![0.0f64; tenants.len()];
+    let mut p99_max = vec![0.0f64; tenants.len()];
+    for _ in 0..CALIB_WINDOWS {
+        let m = engine.measure(0, window);
+        for t in tenants.iter_mut() {
+            let c = m.core(t.core).expect("tenant measured");
+            pps_sum[t.id.0] += c.metrics.pps;
+            p99_max[t.id.0] = p99_max[t.id.0].max(drain_latency(&t.lat, freq).p99_us);
+        }
+    }
+    let envelopes: Vec<GuardEnvelope> = tenants
+        .iter_mut()
+        .map(|t| {
+            t.calib_pps = pps_sum[t.id.0] / CALIB_WINDOWS as f64;
+            GuardEnvelope {
+                min_pps: ENVELOPE_FLOOR * t.calib_pps,
+                max_p99_us: (1.5 * p99_max[t.id.0]).max(5.0),
+                max_loss_frac: 0.005,
+            }
+        })
+        .collect();
+
+    // The supervisor: admitted from the socket plan with the *predicted*
+    // envelopes, then immediately re-fitted from the measured calibration
+    // (the same probe→set_model protocol the drift path uses at run time).
+    let mut sup = supervised.then(|| {
+        let cfg = SupervisorConfig { seed, ..SupervisorConfig::default() };
+        let mut s = Supervisor::from_plan(cfg, &plan_ctx.plan, |flow| {
+            let t = tenants.iter().find(|t| t.flow == flow).expect("planned tenant");
+            let pred = t.calib_pps; // placeholder; refit below
+            (
+                GuardEnvelope {
+                    min_pps: ENVELOPE_FLOOR * pred,
+                    max_p99_us: f64::INFINITY,
+                    max_loss_frac: 0.005,
+                },
+                pred,
+            )
+        })
+        .expect("socket plan must be viable");
+        for t in &tenants {
+            s.set_model(t.id, t.calib_pps, envelopes[t.id.0]);
+        }
+        s
+    });
+
+    let mut injector = FaultInjector::new(sc.plan.clone());
+    let total = sc.last_event + FLEET_TAIL;
+    // Core sickness map (stall cycles per turn); a FreqDerate fault
+    // targeted at a tenant strikes the core the tenant occupies *now* and
+    // stays on that core until the end transition heals it — migrating
+    // away cures the tenant, not the core.
+    let mut sick = [0u64; SOCKET_CORES];
+    let mut sick_core_of_event: Vec<Option<usize>> = vec![None; sc.plan.events.len()];
+    for t in tenants.iter_mut() {
+        t.prev = *t.drops.borrow();
+    }
+    for t in &tenants {
+        apply_ladder(t, DegradeLevel::Normal);
+    }
+
+    for w in 0..total {
+        // 1. Scripted faults.
+        let fired: Vec<_> = injector.advance(w).to_vec();
+        for tr in &fired {
+            let target = tr.target.map(|j| j as usize);
+            match (tr.kind, target) {
+                (FaultKind::FreqDerate { stall_cycles }, Some(j)) => {
+                    if tr.begin {
+                        let core = tenants[j].core.index();
+                        sick[core] = stall_cycles as u64;
+                        sick_core_of_event[tr.event] = Some(core);
+                    } else if let Some(core) = sick_core_of_event[tr.event].take() {
+                        sick[core] = 0;
+                    }
+                }
+                (FaultKind::Corruption { per_mille }, Some(j)) => {
+                    // A pathology in the tenant's own traffic: the knob
+                    // travels with the task, so no placement cures it.
+                    tenants[j].controls.corrupt_per_mille.set(if tr.begin {
+                        per_mille
+                    } else {
+                        0
+                    });
+                }
+                (FaultKind::RateBurst { multiplier }, Some(j)) => {
+                    tenants[j].offered_pace = if tr.begin {
+                        (tenants[j].baseline_pace / multiplier.max(1) as u64).max(1)
+                    } else {
+                        tenants[j].baseline_pace
+                    };
+                }
+                _ => {}
+            }
+        }
+        // 2. Un-scripted environment change (drift scenario only).
+        if let Some((j, frac, at)) = sc.env_change {
+            if w == at {
+                let t = &mut tenants[j];
+                t.env_stall = (frac * t.batch as f64 * t.cpp) as u64;
+            }
+        }
+        refresh_stalls(&tenants, &sick);
+
+        // 3. Parked tenants decide *before* the window runs: stay parked
+        // (counted refusal) or re-enter for a half-open trial.
+        if let Some(sup) = sup.as_mut() {
+            for j in 0..tenants.len() {
+                let id = tenants[j].id;
+                if sup.is_running(id) {
+                    continue;
+                }
+                let d = sup.tick_parked(id);
+                match d.action {
+                    SupervisorAction::Probe => {
+                        // Prediction gate first: re-admitting next to the
+                        // resident flows must keep every SLA.
+                        let resident: Vec<FlowType> = tenants
+                            .iter()
+                            .filter(|t| t.parked.is_none())
+                            .map(|t| t.flow)
+                            .collect();
+                        let verdict = plan_ctx.admission.readmit(
+                            &resident,
+                            &plan_ctx.slas,
+                            tenants[j].flow,
+                        );
+                        assert!(
+                            verdict.admitted(),
+                            "re-admission prediction must hold for this fleet"
+                        );
+                        let dest = healthy_spare(&engine, &sick)
+                            .expect("a healthy core must be free for the trial");
+                        let task =
+                            tenants[j].parked.take().expect("parked task present");
+                        // Trial joins at the fleet clock, like a churn join.
+                        let now = engine.machine.max_clock();
+                        engine.machine.core_mut(dest).clock = now;
+                        engine.set_task(dest, task);
+                        tenants[j].core = dest;
+                        tenants[j].counter_base = core_packets(&engine, dest);
+                        apply_ladder(&tenants[j], DegradeLevel::Normal);
+                        refresh_stalls(&tenants, &sick);
+                    }
+                    SupervisorAction::Evict { .. } => {
+                        let t = &mut tenants[j];
+                        let refused = parked_arrivals(t, window);
+                        let mut d = t.drops.borrow_mut();
+                        d.offered += refused;
+                        d.drained += refused;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // 4. One measured window for the whole fleet.
+        let m = engine.measure(0, window);
+
+        // 5. Running tenants observe and act.
+        for j in 0..tenants.len() {
+            if tenants[j].parked.is_some() {
+                continue;
+            }
+            let c = m.core(tenants[j].core).expect("running tenant measured");
+            tenants[j].min_pps = tenants[j].min_pps.min(c.metrics.pps);
+            let cur = *tenants[j].drops.borrow();
+            if std::env::var_os("FLEET_DEBUG").is_some() {
+                eprintln!(
+                    "[{}] w{w} t{j}: pkts {} offeredΔ {} lostΔ {} pps {:.3e}",
+                    sc.name,
+                    c.counts.total.packets,
+                    cur.offered - tenants[j].prev.offered,
+                    cur.total_dropped() - tenants[j].prev.total_dropped(),
+                    c.metrics.pps,
+                );
+            }
+            let obs = WindowObservation {
+                pps: c.metrics.pps,
+                p99_us: drain_latency(&tenants[j].lat, freq).p99_us,
+                loss_frac: observed_loss(&cur, &tenants[j].prev),
+            };
+            tenants[j].prev = cur;
+            let Some(sup) = sup.as_mut() else { continue };
+            let id = tenants[j].id;
+            // A migration's re-probe: first window on the new placement
+            // re-fits the envelope before it is judged.
+            if tenants[j].reprobe_pending {
+                tenants[j].reprobe_pending = false;
+                sup.set_model(
+                    id,
+                    obs.pps,
+                    GuardEnvelope { min_pps: ENVELOPE_FLOOR * obs.pps, ..envelopes[j] },
+                );
+            }
+            let fault_active = injector.active_for(w, j as u8).next().is_some();
+            let sibling = healthy_spare(&engine, &sick).is_some();
+            let d = sup.observe(id, &obs, sibling, fault_active);
+            tenants[j].peak = tenants[j].peak.max(d.level);
+            let clean = obs.pps >= ENVELOPE_FLOOR * tenants[j].calib_pps;
+            match d.action {
+                SupervisorAction::Continue | SupervisorAction::Readmit => {
+                    apply_ladder(&tenants[j], d.level);
+                }
+                SupervisorAction::Migrate => {
+                    let dest = healthy_spare(&engine, &sick)
+                        .expect("sibling availability was just checked");
+                    let from = tenants[j].core;
+                    tenants[j].processed +=
+                        core_packets(&engine, from) - tenants[j].counter_base;
+                    assert!(engine.migrate_task(from, dest), "legal migration");
+                    tenants[j].core = dest;
+                    tenants[j].counter_base = core_packets(&engine, dest);
+                    tenants[j].reprobe_pending = true;
+                    // Re-assert the planned batch on the new placement and
+                    // restore Normal knobs (the guard was reset).
+                    apply_ladder(&tenants[j], DegradeLevel::Normal);
+                    refresh_stalls(&tenants, &sick);
+                }
+                SupervisorAction::Evict { .. } => {
+                    tenants[j].peak = DegradeLevel::Shed;
+                    tenants[j].processed +=
+                        core_packets(&engine, tenants[j].core) - tenants[j].counter_base;
+                    let mut task =
+                        engine.take_task(tenants[j].core).expect("running tenant");
+                    // Drain through the counted path (in-flight pacing
+                    // credit becomes `drained`), then park the carcass.
+                    task.on_migrate();
+                    tenants[j].parked = Some(task);
+                }
+                SupervisorAction::Recalibrate => {
+                    // The model is stale, the tenant is healthy: re-fit
+                    // from the measured window, do not degrade.
+                    sup.set_model(
+                        id,
+                        obs.pps,
+                        GuardEnvelope { min_pps: ENVELOPE_FLOOR * obs.pps, ..envelopes[j] },
+                    );
+                    apply_ladder(&tenants[j], d.level);
+                }
+                SupervisorAction::Probe => unreachable!("probe comes from tick_parked"),
+            }
+            if tenants[j].recovery.is_none()
+                && w >= sc.last_event
+                && sup.is_running(id)
+                && sup.guard(id).level() == DegradeLevel::Normal
+                && (clean || sc.env_change.is_some())
+            {
+                tenants[j].recovery = Some(w - sc.last_event);
+            }
+        }
+    }
+
+    // Close the ledger: flush each running tenant's retired-packet count
+    // from its occupied core (parked tenants were flushed at eviction).
+    for t in tenants.iter_mut() {
+        if t.parked.is_none() {
+            t.processed += core_packets(&engine, t.core) - t.counter_base;
+            t.counter_base = core_packets(&engine, t.core);
+        }
+    }
+    let clocks: Vec<u64> = (0..SOCKET_CORES as u16)
+        .map(|c| engine.machine.core(CoreId(c)).clock)
+        .collect();
+    let outcome = FleetOutcome {
+        name: sc.name,
+        windows: total,
+        tenants: tenants
+            .iter()
+            .map(|t| {
+                let drops = *t.drops.borrow();
+                let slack =
+                    drops.offered as i64 - t.processed as i64 - drops.undelivered() as i64;
+                let (stats, final_level, running, transitions) = match &sup {
+                    Some(s) => (
+                        s.stats(t.id),
+                        s.guard(t.id).level(),
+                        s.is_running(t.id),
+                        s.guard(t.id).transitions_recorded(),
+                    ),
+                    None => (TenantStats::default(), DegradeLevel::Normal, true, 0),
+                };
+                TenantOutcome {
+                    flow: t.flow,
+                    stats,
+                    peak_level: t.peak,
+                    final_level,
+                    final_running: running,
+                    guard_transitions: transitions,
+                    calib_pps: t.calib_pps,
+                    min_pps: t.min_pps,
+                    drops,
+                    processed: t.processed,
+                    conservation_slack: slack,
+                    recovery_windows: t.recovery,
+                }
+            })
+            .collect(),
+    };
+    (outcome, clocks)
+}
+
+/// The scenario roster. Seeds mix the CLI master seed so `--seed` replays
+/// a failing timeline exactly.
+fn scenarios(seed: u64) -> Vec<FleetScenario> {
+    vec![
+        FleetScenario {
+            name: "sick-core",
+            // Tenant 0's core derates hard for 12 windows; only failover
+            // fixes a slow core.
+            plan: FaultPlan::seeded(seed ^ 0x51C0)
+                .with_target(2, 14, 0, FaultKind::FreqDerate { stall_cycles: 100_000 }),
+            env_change: None,
+            last_event: 14,
+        },
+        FleetScenario {
+            name: "poison-evict",
+            // Tenant 1's own traffic turns 200‰ corrupt: no placement
+            // helps, so the budgeted migrations fail, the ladder bottoms
+            // out at Shed, and the breaker takes over.
+            plan: FaultPlan::seeded(seed ^ 0xE71C)
+                .with_target(2, 30, 1, FaultKind::Corruption { per_mille: 200 }),
+            env_change: None,
+            last_event: 30,
+        },
+        FleetScenario {
+            name: "drift",
+            // The environment quietly slows tenant 2 by ~20% — inside the
+            // envelope, outside the model's tolerance.
+            plan: FaultPlan::seeded(seed ^ 0xD81F7),
+            env_change: Some((2, 0.25, 4)),
+            last_event: 12,
+        },
+        FleetScenario {
+            name: "fleet-empty-plan",
+            plan: FaultPlan::empty(),
+            env_change: None,
+            last_event: 0,
+        },
+    ]
+}
+
+/// Per-scenario, per-tenant assertions — the sweep's acceptance criteria.
+fn check(o: &FleetOutcome) {
+    let n = o.name;
+    for t in &o.tenants {
+        assert_eq!(
+            t.conservation_slack, 0,
+            "[{n}/{}] ledger must conserve exactly through migrations and evictions",
+            t.flow
+        );
+    }
+    let healthy_bound = |t: &TenantOutcome| {
+        assert_eq!(t.stats.trips, 0, "[{n}/{}] healthy tenant must not trip", t.flow);
+        assert_eq!(t.stats.migrations, 0, "[{n}/{}] healthy tenant must not move", t.flow);
+        assert!(
+            t.min_pps >= INTERFERENCE_FLOOR * t.calib_pps,
+            "[{n}/{}] interference bound: min {:.3e} < {:.2} × calib {:.3e}",
+            t.flow,
+            t.min_pps,
+            INTERFERENCE_FLOOR,
+            t.calib_pps
+        );
+    };
+    match n {
+        "sick-core" => {
+            let t = &o.tenants[0];
+            assert_eq!(t.stats.migrations, 1, "[{n}] one failover cures a sick core");
+            assert_eq!(t.stats.trips, 0, "[{n}] no eviction needed");
+            assert!(t.final_running && t.final_level == DegradeLevel::Normal);
+            let rec = t.recovery_windows.expect("sick-core tenant must recover");
+            assert!(rec <= FLEET_RECOVERY_BOUND, "[{n}] recovery took {rec} windows");
+            healthy_bound(&o.tenants[1]);
+            healthy_bound(&o.tenants[2]);
+        }
+        "poison-evict" => {
+            let t = &o.tenants[1];
+            assert_eq!(
+                t.stats.migrations, 2,
+                "[{n}] the budget bounds a flapping tenant's moves"
+            );
+            assert!(t.stats.trips >= 1, "[{n}] Shed windows must trip the breaker");
+            assert!(
+                t.stats.failed_probes >= 1,
+                "[{n}] the mid-fault probe must fail and double the delay"
+            );
+            assert!(t.stats.evicted_windows > 0, "[{n}] parked windows counted");
+            assert!(t.drops.drained > 0, "[{n}] eviction loss must be counted, never silent");
+            assert!(t.drops.element_dropped > 0, "[{n}] corruption drops are visible");
+            assert_eq!(t.peak_level, DegradeLevel::Shed, "[{n}] ladder bottomed out");
+            assert!(
+                t.final_running && t.final_level == DegradeLevel::Normal,
+                "[{n}] the post-fault probe must re-admit the tenant"
+            );
+            let rec = t.recovery_windows.expect("evicted tenant must be re-admitted");
+            assert!(rec <= FLEET_RECOVERY_BOUND, "[{n}] re-admission took {rec} windows");
+            healthy_bound(&o.tenants[0]);
+            healthy_bound(&o.tenants[2]);
+        }
+        "drift" => {
+            let t = &o.tenants[2];
+            assert_eq!(
+                t.stats.recalibrations, 1,
+                "[{n}] sustained clean divergence re-fits the model once"
+            );
+            assert_eq!(t.guard_transitions, 0, "[{n}] drift must not degrade");
+            assert_eq!(t.peak_level, DegradeLevel::Normal, "[{n}] ladder untouched");
+            assert_eq!(t.stats.trips, 0);
+            assert_eq!(t.stats.migrations, 0);
+            assert_eq!(t.drops.total_dropped(), 0, "[{n}] drift costs zero packets");
+            healthy_bound(&o.tenants[0]);
+            healthy_bound(&o.tenants[1]);
+        }
+        "fleet-empty-plan" => {
+            for t in &o.tenants {
+                assert_eq!(t.guard_transitions, 0, "[{n}] no ladder moves");
+                assert_eq!(t.stats.trips, 0);
+                assert_eq!(t.stats.migrations, 0);
+                assert_eq!(t.stats.recalibrations, 0);
+                assert_eq!(t.drops.drained, 0, "[{n}] nothing drained");
+            }
+        }
+        other => panic!("unknown scenario {other}"),
+    }
+}
+
+/// Run the fleet-chaos sweep: plan the socket, run every scenario, check
+/// the empty-plan identity, emit the table + JSON artifact, assert.
+pub fn run(ctx: &RunCtx) -> Vec<FleetOutcome> {
+    ctx.heading("Fleet chaos — the tenant supervisor under sustained faults");
+    println!("planning the socket (profiles + batch calibration)…");
+    let controllers: Vec<BatchController> = FLEET
+        .iter()
+        .map(|&f| BatchController::calibrate(f, ctx.params, ctx.threads))
+        .collect();
+    let predictor = Predictor::profile(&FLEET, ctx.levels.min(3), ctx.params, ctx.threads);
+    let admission = AdmissionController::new(&predictor);
+    let slas: Vec<Sla> =
+        FLEET.iter().map(|&f| Sla { flow: f, max_drop_pct: 40.0 }).collect();
+    let plan = plan_socket(&controllers, &admission, &FLEET, &slas, &[]);
+    assert!(plan.viable(), "the fleet must be admissible before supervision");
+    let plan_ctx = FleetPlanCtx { plan, admission, slas };
+
+    let mut outcomes = Vec::new();
+    for sc in &scenarios(ctx.params.seed) {
+        println!("scenario {}…", sc.name);
+        let (outcome, clocks) = run_fleet_scenario(ctx, sc, &plan_ctx, true);
+        if sc.name == "fleet-empty-plan" {
+            println!("scenario fleet-empty-plan (supervisor-free twin)…");
+            let (twin, twin_clocks) = run_fleet_scenario(ctx, sc, &plan_ctx, false);
+            // Bit-for-bit identity: same clocks, same packets, same
+            // ledgers — an idle control plane is free.
+            assert_eq!(clocks, twin_clocks, "[fleet-empty-plan] core clocks diverged");
+            for (a, b) in outcome.tenants.iter().zip(twin.tenants.iter()) {
+                assert_eq!(a.processed, b.processed, "[fleet-empty-plan] {}", a.flow);
+                assert_eq!(a.drops, b.drops, "[fleet-empty-plan] {} ledger", a.flow);
+            }
+        }
+        outcomes.push(outcome);
+    }
+
+    let mut table = Table::new(
+        "Fleet chaos: supervisor response per tenant per scenario",
+        &[
+            "scenario", "tenant", "peak", "trips", "probes-failed", "migrations",
+            "recal", "evicted-win", "offered", "processed", "drained", "lost",
+            "recov(win)", "slack",
+        ],
+    );
+    for o in &outcomes {
+        for t in &o.tenants {
+            table.row(vec![
+                o.name.to_string(),
+                t.flow.to_string(),
+                t.peak_level.to_string(),
+                t.stats.trips.to_string(),
+                t.stats.failed_probes.to_string(),
+                t.stats.migrations.to_string(),
+                t.stats.recalibrations.to_string(),
+                t.stats.evicted_windows.to_string(),
+                t.drops.offered.to_string(),
+                t.processed.to_string(),
+                t.drops.drained.to_string(),
+                t.drops.total_dropped().to_string(),
+                t.recovery_windows.map(|r| r.to_string()).unwrap_or_else(|| "—".into()),
+                t.conservation_slack.to_string(),
+            ]);
+        }
+    }
+    ctx.emit("fleet_chaos", &table);
+
+    // FLEET_CHAOS_results.json lands in the repository root (CI artifact).
+    let points: Vec<String> = outcomes
+        .iter()
+        .flat_map(|o| {
+            o.tenants.iter().map(move |t| {
+                format!(
+                    "    {{\"scenario\": \"{}\", \"tenant\": \"{}\", \
+                     \"peak_level\": \"{}\", \"final_level\": \"{}\", \
+                     \"final_running\": {}, \"trips\": {}, \"failed_probes\": {}, \
+                     \"migrations\": {}, \"recalibrations\": {}, \
+                     \"evicted_windows\": {}, \"guard_transitions\": {}, \
+                     \"offered\": {}, \"processed\": {}, \"drained\": {}, \
+                     \"shed\": {}, \"element_dropped\": {}, \"wire_overflow\": {}, \
+                     \"total_dropped\": {}, \"recovery_windows\": {}, \
+                     \"conservation_slack\": {}}}",
+                    o.name,
+                    t.flow,
+                    t.peak_level,
+                    t.final_level,
+                    t.final_running,
+                    t.stats.trips,
+                    t.stats.failed_probes,
+                    t.stats.migrations,
+                    t.stats.recalibrations,
+                    t.stats.evicted_windows,
+                    t.guard_transitions,
+                    t.drops.offered,
+                    t.processed,
+                    t.drops.drained,
+                    t.drops.shed,
+                    t.drops.element_dropped,
+                    t.drops.wire_overflow,
+                    t.drops.total_dropped(),
+                    t.recovery_windows.map(|r| r.to_string()).unwrap_or_else(|| "null".into()),
+                    t.conservation_slack,
+                )
+            })
+        })
+        .collect();
+    let json = format!("{{\n  \"tenants\": [\n{}\n  ]\n}}\n", points.join(",\n"));
+    match std::fs::File::create("FLEET_CHAOS_results.json")
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+    {
+        Ok(()) => println!("[saved FLEET_CHAOS_results.json]"),
+        Err(e) => eprintln!("[warn] could not write FLEET_CHAOS_results.json: {e}"),
+    }
+
+    for o in &outcomes {
+        check(o);
+    }
+    println!(
+        "fleet-chaos: {} scenarios × {} tenants — bounded recovery or clean eviction, \
+         exact conservation, interference bounded, empty plan bit-for-bit free",
+        outcomes.len(),
+        FLEET.len()
+    );
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_chaos_holds_its_claims_at_test_scale() {
+        let mut ctx = RunCtx::quick();
+        ctx.params.warmup_ms = 0.5;
+        ctx.params.window_ms = 1.5;
+        ctx.out_dir = std::env::temp_dir();
+        let outcomes = run(&ctx);
+        assert_eq!(outcomes.len(), 4);
+    }
+}

@@ -8,6 +8,7 @@ pub mod batch;
 pub mod chaos;
 pub mod extended;
 pub mod fig10;
+pub mod fleet_chaos;
 pub mod mixes;
 pub mod partition;
 pub mod fig2;

@@ -544,6 +544,23 @@ impl CoreTask for FlowTask {
     fn label_shared(&self) -> Rc<str> {
         self.label.clone()
     }
+
+    /// Migration drain: pacing credit is arrivals the wire already
+    /// presented but the task has not admitted — packets in flight at the
+    /// old placement. They cannot travel (the NIC ring and its buffers
+    /// stay with the old core's memory domain), so the supervisor's drain
+    /// protocol forfeits them as counted `drained` loss and restarts
+    /// accrual fresh on the new core. A line-rate (unpaced) task has no
+    /// in-flight credit and drains nothing.
+    fn on_migrate(&mut self) {
+        if self.pace_credit > 0 {
+            let mut d = self.drops.borrow_mut();
+            d.offered += self.pace_credit;
+            d.drained += self.pace_credit;
+        }
+        self.pace_credit = 0;
+        self.pace_last = u64::MAX;
+    }
 }
 
 /// Pipeline stage 1: receive + the front of the chain, then enqueue.

@@ -162,6 +162,23 @@ impl<'a> AdmissionController<'a> {
         }
         best
     }
+
+    /// Re-admission check for the supervisor's half-open breaker probe:
+    /// would putting `candidate` back next to the currently `resident`
+    /// flows keep every SLA (including the candidate's own)? The
+    /// supervisor consults this *before* spending a trial window — a probe
+    /// that prediction already rules out only re-opens the breaker and
+    /// burns a window of the evicted tenant's traffic.
+    pub fn readmit(
+        &self,
+        resident: &[FlowType],
+        slas: &[Sla],
+        candidate: FlowType,
+    ) -> AdmissionDecision {
+        let mut socket = resident.to_vec();
+        socket.push(candidate);
+        self.evaluate(&socket, slas)
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +246,20 @@ mod tests {
         let n_loose = ac.max_admissible(&base, &loose, FlowType::SynMax, 5);
         assert!(n_loose >= n_strict, "looser SLA admits at least as many");
         assert!(n_loose >= 1, "a 50% SLA tolerates at least one SYN_MAX");
+    }
+
+    #[test]
+    fn readmit_is_evaluate_with_the_candidate_appended() {
+        let p = predictor();
+        let ac = AdmissionController::new(&p);
+        let slas = [Sla { flow: FlowType::Mon, max_drop_pct: 8.0 }];
+        // A benign neighbourhood re-admits the evicted MON tenant...
+        let d = ac.readmit(&[FlowType::Fw, FlowType::Fw], &slas, FlowType::Mon);
+        assert!(d.admitted());
+        assert_eq!(d.verdicts.last().unwrap().flow, FlowType::Mon);
+        // ...a hostile one predicts the SLA still breaks: don't probe yet.
+        let hostile = [FlowType::SynMax; 5];
+        assert!(!ac.readmit(&hostile, &slas, FlowType::Mon).admitted());
     }
 
     #[test]

@@ -236,6 +236,16 @@ impl BatchController {
         self.tail_at(batch) * turn_cycles / (self.freq_ghz * 1e3)
     }
 
+    /// Model-predicted solo throughput at batch `b`, packets/sec:
+    /// `freq / cycles_per_packet(b)`. This is the envelope reference the
+    /// supervisor's drift detector compares clean windows against — when
+    /// measured pps diverges from this for sustained *non-fault* windows,
+    /// the model (not the tenant) is wrong, and the right move is a re-fit
+    /// rather than a walk down the degradation ladder.
+    pub fn predicted_pps(&self, batch: usize) -> f64 {
+        self.freq_ghz * 1e9 / self.model.cycles_per_packet(batch as f64)
+    }
+
     /// Shared decision core: descending scan over the candidate ladder
     /// with the given p99 and cycles/packet predictors; falls back to the
     /// least-bad size (1), marked infeasible, when nothing fits.
@@ -540,6 +550,17 @@ mod tests {
         );
         // Sanity: predicted p99 grows with batch size (turn time dominates).
         assert!(c.predicted_p99_us(64) > c.predicted_p99_us(1));
+    }
+
+    #[test]
+    fn predicted_pps_rises_with_batch_and_inverts_cycles() {
+        let c = controller();
+        // Larger batches amortize F: cycles/packet falls, pps rises.
+        assert!(c.predicted_pps(64) > c.predicted_pps(1));
+        // And the definition holds: pps * cycles/packet = core frequency.
+        let b = 32;
+        let back = c.predicted_pps(b) * c.model.cycles_per_packet(b as f64);
+        assert!((back / (c.freq_ghz * 1e9) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -35,7 +35,14 @@
 //! `choose`, the pace knob). That separation keeps it unit-testable as a
 //! state machine and reusable by the ROADMAP's fleet controller.
 
+use std::collections::VecDeque;
 use std::fmt;
+
+/// Capacity of the guard's transition history ring. Long-running
+/// supervisors observe unboundedly many windows; the trace keeps the most
+/// recent moves only (with [`RuntimeGuard::transitions_recorded`] counting
+/// every move ever made), so memory stays O(1) per tenant.
+pub const TRANSITION_CAP: usize = 256;
 
 /// The predictor's promise for one flow: the bounds a healthy window must
 /// stay inside.
@@ -194,7 +201,10 @@ pub struct RuntimeGuard {
     /// Windows until the next re-probe is allowed while degraded.
     cooldown: u32,
     window: u32,
-    transitions: Vec<GuardTransition>,
+    /// Most recent ladder moves, capped at [`TRANSITION_CAP`] (ring).
+    transitions: VecDeque<GuardTransition>,
+    /// Every ladder move ever made, including evicted ring entries.
+    transitions_recorded: u64,
 }
 
 impl RuntimeGuard {
@@ -209,7 +219,8 @@ impl RuntimeGuard {
             backoff: config.backoff_base.max(1),
             cooldown: 0,
             window: 0,
-            transitions: Vec::new(),
+            transitions: VecDeque::new(),
+            transitions_recorded: 0,
         }
     }
 
@@ -219,9 +230,15 @@ impl RuntimeGuard {
     }
 
     /// Replace the envelope (after a re-probe refits the model to the new
-    /// operating point).
+    /// operating point). Resets both hysteresis streaks: windows judged
+    /// against the *old* envelope must not count toward a move under the
+    /// new one — a mid-run refit would otherwise let one stale violating
+    /// window plus one fresh one trip a rung the new envelope never saw
+    /// two bad windows of.
     pub fn set_envelope(&mut self, envelope: GuardEnvelope) {
         self.envelope = envelope;
+        self.violation_streak = 0;
+        self.clean_streak = 0;
     }
 
     /// The ladder level currently in force.
@@ -229,9 +246,37 @@ impl RuntimeGuard {
         self.level
     }
 
-    /// Every ladder move so far, in order.
-    pub fn transitions(&self) -> &[GuardTransition] {
+    /// The most recent ladder moves, in order (ring-capped at
+    /// [`TRANSITION_CAP`]; see [`transitions_recorded`](Self::transitions_recorded)
+    /// for the lifetime total).
+    pub fn transitions(&self) -> &VecDeque<GuardTransition> {
         &self.transitions
+    }
+
+    /// Every ladder move ever made, including ones the ring has evicted.
+    pub fn transitions_recorded(&self) -> u64 {
+        self.transitions_recorded
+    }
+
+    /// Return the guard to a fresh `Normal` state: streaks, backoff, and
+    /// re-probe cooldown cleared, window counter and transition trace
+    /// kept. The supervisor uses this when a tenant's placement changes
+    /// (migration, eviction, breaker close) — history accrued on the old
+    /// placement must not bias the new one.
+    pub fn reset(&mut self) {
+        self.level = DegradeLevel::Normal;
+        self.violation_streak = 0;
+        self.clean_streak = 0;
+        self.backoff = self.config.backoff_base.max(1);
+        self.cooldown = 0;
+    }
+
+    fn push_transition(&mut self, t: GuardTransition) {
+        if self.transitions.len() == TRANSITION_CAP {
+            self.transitions.pop_front();
+        }
+        self.transitions.push_back(t);
+        self.transitions_recorded += 1;
     }
 
     /// Feed one window's measurement; returns the directive to enforce
@@ -250,7 +295,7 @@ impl RuntimeGuard {
                     let from = self.level;
                     self.level = self.level.degrade();
                     self.violation_streak = 0;
-                    self.transitions.push(GuardTransition {
+                    self.push_transition(GuardTransition {
                         window: w,
                         from,
                         to: self.level,
@@ -268,7 +313,7 @@ impl RuntimeGuard {
                     let from = self.level;
                     self.level = self.level.recover();
                     self.clean_streak = 0;
-                    self.transitions.push(GuardTransition {
+                    self.push_transition(GuardTransition {
                         window: w,
                         from,
                         to: self.level,
@@ -408,6 +453,108 @@ mod tests {
         assert!(!d1.reprobe_now, "still Normal: no probe");
         let d2 = g.observe(&bad());
         assert!(d2.reprobe_now, "fresh degradation probes immediately again");
+    }
+
+    #[test]
+    fn set_envelope_mid_run_resets_hysteresis_counters() {
+        let mut g = RuntimeGuard::new(envelope(), GuardConfig::default());
+        // One violating window: streak at 1, one short of a degrade.
+        g.observe(&bad());
+        assert_eq!(g.level(), DegradeLevel::Normal);
+        // Refit mid-run. The stale violating window must not carry over.
+        g.set_envelope(envelope());
+        let d = g.observe(&bad());
+        assert_eq!(d.level, DegradeLevel::Normal, "streak restarted at the refit");
+        assert!(!d.changed);
+        // The *next* violating window (two post-refit) does degrade.
+        let d = g.observe(&bad());
+        assert_eq!(d.level, DegradeLevel::Reprobe);
+        // Same for the clean streak: two clean windows, refit, then the
+        // recovery count restarts from zero.
+        g.observe(&good());
+        g.observe(&good());
+        g.set_envelope(envelope());
+        g.observe(&good());
+        g.observe(&good());
+        assert_eq!(g.level(), DegradeLevel::Reprobe, "2 clean post-refit: no recovery yet");
+        let d = g.observe(&good());
+        assert!(d.changed && d.level == DegradeLevel::Normal);
+    }
+
+    #[test]
+    fn recovery_from_shed_walks_every_rung() {
+        let mut g = RuntimeGuard::new(envelope(), GuardConfig::default());
+        for _ in 0..8 {
+            g.observe(&bad());
+        }
+        assert_eq!(g.level(), DegradeLevel::Shed);
+        // Climb back: each recovery transition must be exactly one rung,
+        // visiting Throttle, ShrinkBatch, and Reprobe on the way to Normal
+        // — never skipping straight home.
+        let mut rungs = Vec::new();
+        for _ in 0..12 {
+            let d = g.observe(&good());
+            if d.changed {
+                rungs.push(d.level);
+            }
+        }
+        assert_eq!(
+            rungs,
+            vec![
+                DegradeLevel::Throttle,
+                DegradeLevel::ShrinkBatch,
+                DegradeLevel::Reprobe,
+                DegradeLevel::Normal,
+            ],
+            "no rung skipped on the way up"
+        );
+        for pair in g.transitions().iter().collect::<Vec<_>>().windows(2) {
+            assert_eq!(pair[0].to, pair[1].from, "trace is a connected walk");
+        }
+    }
+
+    #[test]
+    fn transition_history_is_ring_capped() {
+        // Alternate 2-bad / 3-good forever: every cycle records two moves
+        // (down one rung, back up). Run enough cycles to overflow the ring.
+        let mut g = RuntimeGuard::new(envelope(), GuardConfig::default());
+        let cycles = (TRANSITION_CAP as u32 / 2) + 40;
+        for _ in 0..cycles {
+            for _ in 0..2 {
+                g.observe(&bad());
+            }
+            for _ in 0..3 {
+                g.observe(&good());
+            }
+        }
+        assert_eq!(g.transitions().len(), TRANSITION_CAP, "ring is full, not growing");
+        assert_eq!(g.transitions_recorded(), 2 * cycles as u64, "lifetime count keeps going");
+        // The ring holds the *most recent* moves: its first entry is later
+        // than the evicted prefix.
+        let dropped = g.transitions_recorded() as usize - g.transitions().len();
+        assert!(g.transitions()[0].window > dropped as u32);
+    }
+
+    #[test]
+    fn reset_returns_to_fresh_normal() {
+        let mut g = RuntimeGuard::new(envelope(), GuardConfig::default());
+        for _ in 0..8 {
+            g.observe(&bad());
+        }
+        assert_eq!(g.level(), DegradeLevel::Shed);
+        let recorded = g.transitions_recorded();
+        g.reset();
+        assert_eq!(g.level(), DegradeLevel::Normal);
+        assert_eq!(g.transitions_recorded(), recorded, "trace survives a reset");
+        // Hysteresis is fresh: one bad window does not degrade, and the
+        // backoff schedule restarts from base (probe fires at first
+        // degrade, exactly like a new guard).
+        let d = g.observe(&bad());
+        assert_eq!(d.level, DegradeLevel::Normal);
+        assert!(!d.reprobe_now);
+        let d = g.observe(&bad());
+        assert_eq!(d.level, DegradeLevel::Reprobe);
+        assert!(d.reprobe_now, "backoff schedule restarted from base");
     }
 
     #[test]

@@ -31,6 +31,11 @@
 //!   envelope check and hysteresis-protected degradation ladder
 //!   (re-probe → shrink batch → throttle → shed) that keeps the closed
 //!   loop honest under churn, overload, and loss (`repro chaos`).
+//! * **Tenant supervisor** ([`supervisor`]) — beyond the paper: one guard
+//!   per admitted flow composed into a machine-level control plane —
+//!   circuit-breaker admission with jittered half-open probes, core
+//!   failover under sustained violation, and drift-triggered model
+//!   re-calibration (`repro fleet-chaos`).
 //!
 //! The measurement substrate is `pp-sim` (a deterministic multicore
 //! simulator) with workloads from `pp-click`; see ARCHITECTURE.md at the
@@ -72,6 +77,7 @@ pub mod predictor;
 pub mod profiler;
 pub mod report;
 pub mod sensitivity;
+pub mod supervisor;
 pub mod throttle;
 pub mod workload;
 
@@ -105,6 +111,10 @@ pub mod prelude {
     pub use crate::profiler::SoloProfile;
     pub use crate::report::{f as fmt_f, millions, Table};
     pub use crate::sensitivity::SensitivityCurve;
+    pub use crate::supervisor::{
+        Supervisor, SupervisorAction, SupervisorConfig, SupervisorDirective, TenantId,
+        TenantState, TenantStats,
+    };
     pub use crate::throttle::{
         run_containment_demo, ContainmentResult, ContainmentSample, ThrottleController,
     };

@@ -48,6 +48,13 @@ pub trait CoreTask {
     fn label_shared(&self) -> Rc<str> {
         Rc::from(self.label())
     }
+
+    /// Called once by [`Engine::migrate_task`] after the task has been
+    /// detached from its old core and before it is bound to the new one.
+    /// Tasks with in-flight state (accrued pacing credit, queued work)
+    /// drain it here through their counted drop paths so migration never
+    /// loses a packet silently. Default: nothing to drain.
+    fn on_migrate(&mut self) {}
 }
 
 /// Cycles charged to a core whose task reported [`TurnResult::Idle`]
@@ -126,6 +133,35 @@ impl Engine {
     /// Remove and return the task on `core`.
     pub fn take_task(&mut self, core: CoreId) -> Option<Box<dyn CoreTask>> {
         self.tasks[core.index()].take()
+    }
+
+    /// Move the task on `from` to the empty core `to`: the live
+    /// re-placement primitive behind the supervisor's core failover.
+    ///
+    /// The task's [`CoreTask::on_migrate`] hook runs in between so
+    /// in-flight state drains through counted drop paths, and the
+    /// destination core's clock is advanced to the fleet's current maximum
+    /// — a migrated task joins *now*; it does not replay the simulated
+    /// past on its new core. Returns `false` (and moves nothing) if `from`
+    /// has no task or `to` already has one.
+    pub fn migrate_task(&mut self, from: CoreId, to: CoreId) -> bool {
+        if from == to || self.tasks[to.index()].is_some() {
+            return false;
+        }
+        let Some(mut task) = self.tasks[from.index()].take() else {
+            return false;
+        };
+        task.on_migrate();
+        let now = self.machine.max_clock();
+        let dst = self.machine.core_mut(to);
+        dst.clock = dst.clock.max(now);
+        self.tasks[to.index()] = Some(task);
+        true
+    }
+
+    /// Whether `core` currently has a task bound.
+    pub fn has_task(&self, core: CoreId) -> bool {
+        self.tasks[core.index()].is_some()
     }
 
     /// Cores that currently have tasks.
@@ -295,6 +331,30 @@ mod tests {
         e.set_task(CoreId(0), Box::new(AlwaysIdle));
         e.run_until(10 * IDLE_POLL_COST);
         assert_eq!(e.machine.core(CoreId(0)).clock, 10 * IDLE_POLL_COST);
+    }
+
+    #[test]
+    fn migrate_task_moves_work_and_aligns_the_clock() {
+        let mut e = Engine::new(Machine::new(MachineConfig::westmere()));
+        e.set_task(
+            CoreId(0),
+            Box::new(Striding { base: MemDomain(0).base(), i: 0, stride: 64, span: 1 << 16 }),
+        );
+        e.run_until(100_000);
+        // Destination occupied → refused; missing source → refused.
+        e.set_task(CoreId(2), Box::new(AlwaysIdle));
+        assert!(!e.migrate_task(CoreId(0), CoreId(2)));
+        assert!(!e.migrate_task(CoreId(5), CoreId(3)));
+        assert!(!e.migrate_task(CoreId(0), CoreId(0)));
+        // A legal migration vacates the source, joins at the fleet clock,
+        // and keeps making progress on the new core.
+        let fleet = e.machine.max_clock();
+        assert!(e.migrate_task(CoreId(0), CoreId(3)));
+        assert!(e.take_task(CoreId(0)).is_none(), "source vacated");
+        assert!(e.machine.core(CoreId(3)).clock >= fleet, "no replay of the past");
+        let pkts_before = e.machine.core(CoreId(3)).counters.total().packets;
+        e.run_until(fleet + 100_000);
+        assert!(e.machine.core(CoreId(3)).counters.total().packets > pkts_before);
     }
 
     #[test]

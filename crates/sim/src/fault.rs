@@ -68,6 +68,11 @@ pub struct DropStats {
     /// Deliberately dropped by the degradation ladder's shed policy
     /// before receive — explicit, counted load shedding.
     pub shed: u64,
+    /// Dropped by the tenant supervisor's drain/evict actions: in-flight
+    /// pacing credit forfeited when a flow migrates cores, and offered
+    /// load refused while the admission circuit breaker is open. Chosen,
+    /// counted loss — never silent.
+    pub drained: u64,
 }
 
 impl DropStats {
@@ -78,12 +83,13 @@ impl DropStats {
             + self.element_dropped
             + self.wire_overflow
             + self.shed
+            + self.drained
     }
 
     /// Drops that happened *before* delivery — the categories that reduce
     /// the processed count (element drops happen after delivery).
     pub fn undelivered(&self) -> u64 {
-        self.nic_rx_exhausted + self.queue_full + self.wire_overflow + self.shed
+        self.nic_rx_exhausted + self.queue_full + self.wire_overflow + self.shed + self.drained
     }
 
     /// Fraction of offered packets lost (0 when nothing was offered).
@@ -233,6 +239,11 @@ pub struct FaultEvent {
     pub jitter: u32,
     /// What happens.
     pub kind: FaultKind,
+    /// Which tenant the fault targets: `None` hits the whole machine (the
+    /// single-flow chaos semantics), `Some(t)` hits tenant slot `t` only.
+    /// The fleet driver maps slots onto flows/cores; the injector itself
+    /// only carries the tag.
+    pub target: Option<u8>,
 }
 
 /// A deterministic, seeded schedule of disturbances on the window
@@ -266,14 +277,37 @@ impl FaultPlan {
     /// Add an event active on windows `[at, until)` with no jitter.
     pub fn with(mut self, at: u32, until: u32, kind: FaultKind) -> Self {
         assert!(until > at, "fault interval must be non-empty");
-        self.events.push(FaultEvent { at, until, jitter: 0, kind });
+        self.events.push(FaultEvent { at, until, jitter: 0, kind, target: None });
         self
     }
 
     /// Add an event whose start is jittered by up to `jitter` windows.
     pub fn with_jittered(mut self, at: u32, until: u32, jitter: u32, kind: FaultKind) -> Self {
         assert!(until > at, "fault interval must be non-empty");
-        self.events.push(FaultEvent { at, until, jitter, kind });
+        self.events.push(FaultEvent { at, until, jitter, kind, target: None });
+        self
+    }
+
+    /// Add an event targeting tenant slot `target` only (no jitter). The
+    /// multi-tenant chaos driver uses this to disturb one tenant while
+    /// asserting its neighbours stay inside the interference bound.
+    pub fn with_target(mut self, at: u32, until: u32, target: u8, kind: FaultKind) -> Self {
+        assert!(until > at, "fault interval must be non-empty");
+        self.events.push(FaultEvent { at, until, jitter: 0, kind, target: Some(target) });
+        self
+    }
+
+    /// Add a jittered event targeting tenant slot `target` only.
+    pub fn with_jittered_target(
+        mut self,
+        at: u32,
+        until: u32,
+        jitter: u32,
+        target: u8,
+        kind: FaultKind,
+    ) -> Self {
+        assert!(until > at, "fault interval must be non-empty");
+        self.events.push(FaultEvent { at, until, jitter, kind, target: Some(target) });
         self
     }
 
@@ -294,6 +328,8 @@ pub struct FaultTransition {
     pub event: usize,
     /// The fault.
     pub kind: FaultKind,
+    /// The tenant slot the fault targets (`None` = machine-wide).
+    pub target: Option<u8>,
     /// `true` = the fault begins at this window, `false` = it ends.
     pub begin: bool,
 }
@@ -361,6 +397,7 @@ impl FaultInjector {
                         window: w,
                         event: i,
                         kind: self.plan.events[i].kind,
+                        target: self.plan.events[i].target,
                         begin: true,
                     });
                 }
@@ -369,6 +406,7 @@ impl FaultInjector {
                         window: w,
                         event: i,
                         kind: self.plan.events[i].kind,
+                        target: self.plan.events[i].target,
                         begin: false,
                     });
                 }
@@ -384,6 +422,19 @@ impl FaultInjector {
             .iter()
             .zip(self.plan.events.iter())
             .filter(move |(&(start, end), _)| start <= window && window < end)
+            .map(|(_, e)| e.kind)
+    }
+
+    /// The faults active at `window` that apply to tenant slot `tenant`:
+    /// machine-wide events (no target) plus events targeting exactly that
+    /// slot.
+    pub fn active_for(&self, window: u32, tenant: u8) -> impl Iterator<Item = FaultKind> + '_ {
+        self.resolved
+            .iter()
+            .zip(self.plan.events.iter())
+            .filter(move |(&(start, end), e)| {
+                start <= window && window < end && e.target.is_none_or(|t| t == tenant)
+            })
             .map(|(_, e)| e.kind)
     }
 
@@ -405,7 +456,8 @@ mod tests {
             queue_full: 3,
             element_dropped: 2,
             wire_overflow: 1,
-            shed: 4,
+            shed: 3,
+            drained: 1,
         };
         assert_eq!(d.total_dropped(), 15);
         assert_eq!(d.undelivered(), 13);
@@ -462,18 +514,21 @@ mod tests {
                     window: 4,
                     event: 1,
                     kind: FaultKind::Corruption { per_mille: 50 },
+                    target: None,
                     begin: true
                 },
                 FaultTransition {
                     window: 5,
                     event: 0,
                     kind: FaultKind::FreqDerate { stall_cycles: 100 },
+                    target: None,
                     begin: false
                 },
                 FaultTransition {
                     window: 6,
                     event: 1,
                     kind: FaultKind::Corruption { per_mille: 50 },
+                    target: None,
                     begin: false
                 },
             ]
@@ -500,6 +555,26 @@ mod tests {
         // A different seed may (and here does) resolve differently.
         let c = FaultInjector::new(FaultPlan { seed: 100, ..plan });
         assert_eq!(c.resolved[0].1 - c.resolved[0].0, 10);
+    }
+
+    #[test]
+    fn targeted_events_hit_only_their_tenant() {
+        let plan = FaultPlan::seeded(11)
+            .with(2, 6, FaultKind::FreqDerate { stall_cycles: 50 })
+            .with_target(3, 5, 1, FaultKind::RateBurst { multiplier: 8 });
+        let mut inj = FaultInjector::new(plan);
+        // Machine-wide event applies to every slot; the targeted one only
+        // to tenant 1.
+        assert_eq!(inj.active_for(3, 0).count(), 1);
+        assert_eq!(inj.active_for(3, 1).count(), 2);
+        assert_eq!(inj.active_for(3, 2).count(), 1);
+        // active_at still reports both (slot-blind view).
+        assert_eq!(inj.active_at(3).count(), 2);
+        // The trace carries the target tag through.
+        let t = inj.advance(6).to_vec();
+        let targeted: Vec<_> = t.iter().filter(|tr| tr.target == Some(1)).collect();
+        assert_eq!(targeted.len(), 2, "begin + end of the targeted event");
+        assert!(targeted[0].begin && !targeted[1].begin);
     }
 
     #[test]
