@@ -31,6 +31,9 @@
 //!   fleet-chaos extras  — the tenant supervisor under sustained faults:
 //!                         circuit-breaker admission, core failover,
 //!                         drift re-calibration (FLEET_CHAOS_results.json)
+//!   cluster-chaos extras — the fleet controller over N machines: crash
+//!                         detection + re-placement, telemetry blackout,
+//!                         SLA-priority shedding (CLUSTER_CHAOS_results.json)
 //!   all        everything above, in order (except perf: wall-dependent)
 //! ```
 //!
@@ -40,8 +43,8 @@
 //! simulation size shared by every sweep (it overrides the base window
 //! regardless of flag order). `--seed N` replaces the master seed every
 //! derived seed (workload structure, fault-plan jitter, supervisor probe
-//! jitter) mixes from — replay a failing chaos/fleet-chaos timeline by
-//! passing the seed the report named. Results land in `results/*.csv`.
+//! jitter) mixes from — replay a failing chaos/fleet-chaos/cluster-chaos
+//! timeline by passing the seed the report named. Results land in `results/*.csv`.
 
 use pp_bench::experiments;
 use pp_bench::RunCtx;
@@ -49,7 +52,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|pipeline|pipeline-batch|throttle|ablate|extended|cat|mixes|batch|adaptive|perf|chaos|fleet-chaos|all> \
+        "usage: repro <table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|pipeline|pipeline-batch|throttle|ablate|extended|cat|mixes|batch|adaptive|perf|chaos|fleet-chaos|cluster-chaos|all> \
          [--quick] [--packets N] [--threads N] [--levels N] [--out DIR] [--seed N]"
     );
     std::process::exit(2);
@@ -191,6 +194,9 @@ fn main() {
         "fleet-chaos" => {
             experiments::fleet_chaos::run(&ctx);
         }
+        "cluster-chaos" => {
+            experiments::cluster_chaos::run(&ctx);
+        }
         "all" => {
             experiments::table1::run(&ctx);
             experiments::fig2::run(&ctx);
@@ -212,6 +218,7 @@ fn main() {
             experiments::adaptive::run(&ctx);
             experiments::chaos::run(&ctx);
             experiments::fleet_chaos::run(&ctx);
+            experiments::cluster_chaos::run(&ctx);
         }
         _ => usage(),
     }

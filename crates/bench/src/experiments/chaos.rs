@@ -32,6 +32,7 @@
 //! Results land in `chaos.csv` and `CHAOS_results.json` (machine-readable,
 //! uploaded as a CI artifact).
 
+use crate::experiments::results_json::{save_results_json, JsonRow};
 use crate::RunCtx;
 use pp_click::pipelines::{build_pipeline, PipelineSpec};
 use pp_core::prelude::*;
@@ -42,7 +43,6 @@ use pp_sim::latency::LatencyHistogram;
 use pp_sim::machine::Machine;
 use pp_sim::types::{CoreId, MemDomain};
 use std::cell::RefCell;
-use std::io::Write as _;
 use std::rc::Rc;
 
 /// Windows allowed between the last fault clearing and the guard standing
@@ -322,6 +322,13 @@ fn run_flow_scenario(
                 }
                 // Queue pressure targets the pipeline topology (below).
                 FaultKind::QueuePressure { .. } => {}
+                // Machine-scoped kinds are cluster-driver territory
+                // (`repro cluster-chaos`); a single-machine plan never
+                // schedules them.
+                FaultKind::MachineCrash { .. }
+                | FaultKind::SocketDerate { .. }
+                | FaultKind::TelemetryLoss
+                | FaultKind::TelemetryDelay { .. } => {}
             }
             // A disturbance arriving mid-degradation must not undo the
             // ladder's pace decision.
@@ -701,43 +708,30 @@ pub fn run(ctx: &RunCtx) -> Vec<ScenarioOutcome> {
     ctx.emit("chaos", &table);
 
     // CHAOS_results.json lands in the repository root (CI uploads it).
-    let points: Vec<String> = outcomes
+    let rows: Vec<JsonRow> = outcomes
         .iter()
         .map(|o| {
-            format!(
-                "    {{\"scenario\": \"{}\", \"windows\": {}, \"peak_level\": \"{}\", \
-                 \"reprobes\": {}, \"transitions\": {}, \"fault_events\": {}, \
-                 \"offered\": {}, \"processed\": {}, \"nic_rx_exhausted\": {}, \
-                 \"queue_full\": {}, \"element_dropped\": {}, \"wire_overflow\": {}, \
-                 \"shed\": {}, \"drained\": {}, \"recovery_windows\": {}, \
-                 \"conservation_slack\": {}, \"max_backlog\": {}}}",
-                o.name,
-                o.windows,
-                o.peak_level,
-                o.reprobes,
-                o.transitions,
-                o.fault_events,
-                o.drops.offered,
-                o.processed,
-                o.drops.nic_rx_exhausted,
-                o.drops.queue_full,
-                o.drops.element_dropped,
-                o.drops.wire_overflow,
-                o.drops.shed,
-                o.drops.drained,
-                o.recovery_windows.map(|r| r.to_string()).unwrap_or_else(|| "null".into()),
-                o.conservation_slack,
-                o.max_backlog,
-            )
+            JsonRow::new()
+                .str("scenario", o.name)
+                .num("windows", o.windows)
+                .str("peak_level", o.peak_level)
+                .num("reprobes", o.reprobes)
+                .num("transitions", o.transitions)
+                .num("fault_events", o.fault_events)
+                .num("offered", o.drops.offered)
+                .num("processed", o.processed)
+                .num("nic_rx_exhausted", o.drops.nic_rx_exhausted)
+                .num("queue_full", o.drops.queue_full)
+                .num("element_dropped", o.drops.element_dropped)
+                .num("wire_overflow", o.drops.wire_overflow)
+                .num("shed", o.drops.shed)
+                .num("drained", o.drops.drained)
+                .opt_num("recovery_windows", o.recovery_windows)
+                .num("conservation_slack", o.conservation_slack)
+                .num("max_backlog", o.max_backlog)
         })
         .collect();
-    let json = format!("{{\n  \"scenarios\": [\n{}\n  ]\n}}\n", points.join(",\n"));
-    match std::fs::File::create("CHAOS_results.json")
-        .and_then(|mut f| f.write_all(json.as_bytes()))
-    {
-        Ok(()) => println!("[saved CHAOS_results.json]"),
-        Err(e) => eprintln!("[warn] could not write CHAOS_results.json: {e}"),
-    }
+    save_results_json("CHAOS_results.json", "scenarios", &rows);
 
     for o in &outcomes {
         check(o);

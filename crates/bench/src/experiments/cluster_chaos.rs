@@ -1,0 +1,903 @@
+//! `repro cluster-chaos` — the fleet controller over a cluster of
+//! machines that crash, lie by omission, and come back (robustness, PR 8).
+//!
+//! `repro fleet-chaos` proved one machine's tenants survive sustained
+//! faults under a supervisor with perfect information. This sweep removes
+//! that luxury: a [`Cluster`] of independent [`Engine`] machines
+//! advances on a shared measurement-window axis, and the
+//! [`FleetController`] sees the world only through heartbeats and a lossy,
+//! delayable [`TelemetryChannel`] per machine. The driver maps each
+//! [`FleetAction`] onto the mechanisms:
+//!
+//! * `ProbeMachine` — counted, free: probes are liveness traffic, not
+//!   placement decisions;
+//! * `DeclareDead` — the machine's residents are orphaned; the driver
+//!   already parked their tasks at the crash transition (in-flight pacing
+//!   credit forfeited through `on_migrate` as counted `drained` loss);
+//! * `Replace` — install the tenant's task on the first free placement
+//!   core of the destination machine, clock-aligned to that machine's
+//!   fleet clock, with the retired-packet counter re-anchored so the
+//!   conservation ledger stays exact across the move;
+//! * `Park` — no admitted machine (or none affordable): every parked
+//!   window refuses the tenant's expected offered load as counted
+//!   `drained` loss — loss, but chosen and ledgered, never silent.
+//!
+//! Scenarios and the claims they assert:
+//!
+//! * **machine-crash-restart** — machine 0 dies mid-run and restarts 10
+//!   windows later. The controller suspects on heartbeat silence, probes
+//!   on capped backoff, declares death, and re-places both orphans across
+//!   the survivors within [`REPLACEMENT_BOUND`] windows of the crash; the
+//!   restart heartbeat sends them home budget-free. Healthy machines
+//!   suffer zero collateral: no parks, interference bounded.
+//! * **telemetry-blackout** — machine 2's telemetry goes dark for 10
+//!   windows while a socket derate degrades its datapath, then the
+//!   channel returns with a 2-window delay. The controller holds its
+//!   last-known-good estimates (never reading silence as rate 0) and
+//!   makes **zero** decisions end to end — blindness bounds the decision
+//!   rate by construction, stale estimates never trigger sheds.
+//! * **cascading-overload** — machine 0 (three tenants, priorities
+//!   2/1/0) dies for good and the survivors have one free slot each. The
+//!   controller re-places in SLA-priority order: the two higher classes
+//!   land, the lowest parks with counted loss — degradation by SLA
+//!   class, not collapse of every tenant.
+//! * **cluster-empty-plan** — the null plan under a live controller is
+//!   bit-for-bit identical (per-core clocks, retired packets, ledgers,
+//!   digest) to a controller-free cluster: the control plane is free
+//!   when idle.
+//!
+//! Every scenario asserts the conservation law per tenant, fleet-wide and
+//! exactly: `offered = processed + undelivered`, with `processed` flushed
+//! from raw per-core counters anchored at every placement change — a
+//! tenant's packets may be spread across three machines by the end of a
+//! run, and the anchors are what let one ledger close over all of them.
+//!
+//! Results land in `cluster_chaos.csv` and `CLUSTER_CHAOS_results.json`
+//! (machine-readable, uploaded as a CI artifact). Scenario seeds mix the
+//! CLI master seed, so `--seed N` replays a failing timeline exactly.
+
+use crate::experiments::results_json::{save_results_json, JsonRow};
+use crate::RunCtx;
+use pp_core::prelude::*;
+use pp_sim::cluster::{Cluster, MachineId, TelemetryChannel};
+use pp_sim::config::MachineConfig;
+use pp_sim::engine::{CoreTask, Engine};
+use pp_sim::fault::{DropStats, FaultInjector, FaultKind, FaultPlan, TaskControls};
+use pp_sim::latency::LatencyHistogram;
+use pp_sim::types::{CoreId, MemDomain};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Machines in the cluster.
+const MACHINES: usize = 3;
+/// Placement cores per machine (cores 0..SLOTS of socket 0); also the
+/// controller's `machine_capacity`, so slot scarcity is decided by the
+/// controller, not discovered by the driver.
+const SLOTS: usize = 3;
+/// Fixed per-tenant batch (the cluster sweep exercises placement, not
+/// batch choice — `repro batch` and `repro fleet-chaos` own that axis).
+const BATCH: usize = 16;
+/// Clean calibration windows per scenario.
+const CALIB_WINDOWS: u32 = 2;
+/// Offered load for every paced tenant, as a fraction of its measured
+/// capacity under home-machine contention.
+const OFFERED_LOAD: f64 = 0.75;
+/// Controller-side delivered-rate floor, as a fraction of calibrated pps
+/// (deliberately loose: the cluster scenarios exercise death and
+/// blindness, and a refugee joining a survivor must not read as overload).
+const FLOOR_FRAC: f64 = 0.4;
+/// Windows simulated past the last scripted event.
+const CLUSTER_TAIL: u32 = 12;
+/// When machine 0 crashes in the scripted scenarios.
+const CRASH_AT: u32 = 4;
+/// Crash-to-replacement bound (windows): heartbeat timeout, two probes on
+/// capped backoff, then death and same-tick re-placement.
+pub const REPLACEMENT_BOUND: u32 = 10;
+/// Healthy-machine tenants must keep this fraction of calibrated
+/// throughput even while hosting a refugee (looser than fleet-chaos's
+/// bound: a third co-runner was not part of their calibration).
+pub const INTERFERENCE_FLOOR: f64 = 0.5;
+/// Minimum heartbeat-silence the blackout scenario must demonstrate
+/// surviving without a decision.
+pub const BLACKOUT_STALENESS_FLOOR: u32 = 8;
+/// The flow classes profiled for re-placement admission.
+const PROFILE: [FlowType; 3] = [FlowType::Ip, FlowType::Mon, FlowType::Fw];
+
+/// One tenant spec: flow class, SLA priority (higher = more important),
+/// home machine.
+type TenantSpec = (FlowType, u8, usize);
+
+/// The standard fleet: two tenants per machine, one free slot each.
+fn default_fleet() -> Vec<TenantSpec> {
+    vec![
+        (FlowType::Ip, 2, 0),
+        (FlowType::Mon, 1, 0),
+        (FlowType::Ip, 2, 1),
+        (FlowType::Mon, 1, 1),
+        (FlowType::Ip, 2, 2),
+        (FlowType::Mon, 1, 2),
+    ]
+}
+
+/// One cluster scenario: a machine-scoped fault timeline plus the fleet
+/// it strikes.
+struct ClusterScenario {
+    name: &'static str,
+    plan: FaultPlan,
+    fleet: Vec<TenantSpec>,
+    /// Window after which recovery is expected.
+    last_event: u32,
+}
+
+/// One tenant's outcome within a scenario.
+#[derive(Debug, Clone)]
+pub struct ClusterTenantOutcome {
+    /// The tenant's flow class.
+    pub flow: FlowType,
+    /// SLA priority (higher = more important).
+    pub priority: u8,
+    /// Home machine index.
+    pub home: usize,
+    /// Machine hosting the tenant at the end of the run (`None` = parked).
+    pub final_machine: Option<usize>,
+    /// Mean calibrated throughput before any fault.
+    pub calib_pps: f64,
+    /// Worst per-window throughput while running (main loop only).
+    pub min_pps: f64,
+    /// Final loss ledger (covers capacity probe + calibration + main loop).
+    pub drops: DropStats,
+    /// Packets retired, flushed from raw core counters across every
+    /// machine the tenant touched.
+    pub processed: u64,
+    /// `offered − processed − undelivered` (0 = exact conservation).
+    pub conservation_slack: i64,
+}
+
+/// Everything one cluster scenario produced.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Main-loop windows simulated.
+    pub windows: u32,
+    /// Placement decisions the controller made (probes excluded).
+    pub decisions: u64,
+    /// Budget-charged cross-machine re-placements.
+    pub replacements: u32,
+    /// Liveness probes sent to suspect machines.
+    pub probes: u32,
+    /// Tenants the controller parked (action order).
+    pub parked_tenants: Vec<usize>,
+    /// Window the dead machine was declared (`None` = never).
+    pub declare_dead_window: Option<u32>,
+    /// Window of the first re-placement (`None` = none).
+    pub first_replacement_window: Option<u32>,
+    /// Worst telemetry staleness any tenant reached (windows).
+    pub max_staleness: u32,
+    /// Smallest rate estimate the controller ever held for any tenant
+    /// that had reported at least once (`∞` = never sampled) — the
+    /// "blackout must not read as rate 0" witness.
+    pub min_rate_estimate: f64,
+    /// Per-tenant outcomes, in fleet order.
+    pub tenants: Vec<ClusterTenantOutcome>,
+    /// FNV-1a digest over (machine, core, clock, retired packets) for
+    /// every placement core — the empty-plan identity witness.
+    pub digest: u64,
+}
+
+/// Driver-side runtime state for one tenant.
+struct TenantRt {
+    id: TenantId,
+    flow: FlowType,
+    priority: u8,
+    home: usize,
+    /// Current placement (`None` = parked, task boxed in `parked`).
+    loc: Option<(usize, CoreId)>,
+    lat: Rc<RefCell<LatencyHistogram>>,
+    drops: Rc<RefCell<DropStats>>,
+    controls: Rc<TaskControls>,
+    parked: Option<Box<dyn CoreTask>>,
+    /// Cycles per packet under home contention (pacing reference).
+    cpp: f64,
+    offered_pace: u64,
+    calib_pps: f64,
+    min_pps: f64,
+    prev: DropStats,
+    /// Exact packets retired, flushed from the occupied core's raw
+    /// counter at every placement change (see the module docs).
+    processed: u64,
+    /// The occupied core's retired-packet total at (re-)installation —
+    /// the anchor `processed` flushes against.
+    counter_base: u64,
+}
+
+/// Raw retired-packet total of one core (pending events included).
+fn core_packets(engine: &Engine, core: CoreId) -> u64 {
+    engine.machine.core(core).counters.total().packets
+}
+
+/// Summarize and reset a per-window latency histogram.
+fn drain_latency(lat: &Rc<RefCell<LatencyHistogram>>, freq_ghz: f64) -> LatencySummary {
+    let s = LatencySummary::from_histogram(&lat.borrow(), freq_ghz);
+    lat.borrow_mut().reset();
+    s
+}
+
+/// Unchosen loss fraction for one window (shed and drained are the
+/// control plane's own actions — excluded from the signal, fully counted
+/// in the conservation ledger).
+fn observed_loss(cur: &DropStats, prev: &DropStats) -> f64 {
+    let offered = cur.offered.saturating_sub(prev.offered);
+    let lost = cur.total_dropped().saturating_sub(prev.total_dropped());
+    let chosen = (cur.shed + cur.drained).saturating_sub(prev.shed + prev.drained);
+    lost.saturating_sub(chosen) as f64 / offered.max(1) as f64
+}
+
+/// Expected offered arrivals in one window for a parked tenant — what the
+/// wire would have delivered, refused and ledgered as `drained`.
+fn parked_arrivals(t: &TenantRt, window: u64) -> u64 {
+    window / t.offered_pace.max(1)
+}
+
+/// Flush the tenant's retired-packet delta from its occupied core into
+/// `processed` — called at every placement change and at the end of the
+/// run, so the ledger closes over every machine the tenant touched.
+fn flush_processed(t: &mut TenantRt, cluster: &Cluster) {
+    if let Some((m, core)) = t.loc {
+        let eng = cluster.engine(MachineId(m));
+        t.processed += core_packets(eng, core) - t.counter_base;
+        t.counter_base = core_packets(eng, core);
+    }
+}
+
+/// Remove the tenant's task from its engine through the counted drain
+/// path and park the carcass.
+fn park_tenant(t: &mut TenantRt, cluster: &mut Cluster) {
+    flush_processed(t, cluster);
+    if let Some((m, core)) = t.loc.take() {
+        let mut task =
+            cluster.engine_mut(MachineId(m)).take_task(core).expect("located tenant");
+        task.on_migrate();
+        t.parked = Some(task);
+    }
+}
+
+/// First free placement core on machine `m`.
+fn free_slot(cluster: &Cluster, m: MachineId) -> Option<CoreId> {
+    (0..SLOTS as u16).map(CoreId).find(|&c| !cluster.engine(m).has_task(c))
+}
+
+/// FNV-1a over a stream of words — the cross-run identity digest.
+fn fnv1a64(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Shared planning state (profiled once, used by every scenario).
+struct ClusterPlanCtx<'a> {
+    admission: AdmissionController<'a>,
+    slas: Vec<Sla>,
+}
+
+/// Build the cluster and run one scenario end to end. `controlled =
+/// false` runs the identical measurement schedule without a fleet
+/// controller (the empty-plan twin).
+#[allow(clippy::needless_range_loop)]
+fn run_cluster_scenario(
+    ctx: &RunCtx,
+    sc: &ClusterScenario,
+    plan_ctx: &ClusterPlanCtx<'_>,
+    controlled: bool,
+) -> ClusterOutcome {
+    let params = ctx.params;
+    let seed = params.seed ^ 0xC10577;
+    let mut cluster = Cluster::new_uniform(MACHINES, &MachineConfig::westmere());
+    let mut tenants: Vec<TenantRt> = Vec::new();
+    let mut next_core = [0u16; MACHINES];
+    for (ti, &(flow, priority, home)) in sc.fleet.iter().enumerate() {
+        assert!((next_core[home] as usize) < SLOTS, "fleet overfills machine {home}");
+        let core = CoreId(next_core[home]);
+        next_core[home] += 1;
+        let eng = cluster.engine_mut(MachineId(home));
+        let built = flow.build_with_structure(
+            &mut eng.machine,
+            MemDomain(0),
+            params.scale,
+            seed ^ (0x1111 * (ti as u64 + 1)),
+            flow.structure_seed(seed),
+            BATCH,
+        );
+        tenants.push(TenantRt {
+            id: TenantId(ti),
+            flow,
+            priority,
+            home,
+            loc: Some((home, core)),
+            lat: built.task.latency_handle(),
+            drops: built.task.drop_handle(),
+            controls: built.task.controls_handle(),
+            parked: None,
+            cpp: 1.0,
+            offered_pace: 1,
+            calib_pps: 0.0,
+            min_pps: f64::INFINITY,
+            prev: DropStats::default(),
+            processed: 0,
+            counter_base: 0,
+        });
+        eng.set_task(core, Box::new(built.task));
+    }
+
+    let cfg = cluster.engine(MachineId(0)).machine.config().clone();
+    let window = params.window_cycles(&cfg);
+    let warmup = params.warmup_cycles(&cfg);
+    let freq = cfg.freq_ghz;
+    cluster.run_all_until(warmup);
+    for t in tenants.iter_mut() {
+        t.lat.borrow_mut().reset();
+        t.drops.borrow_mut().reset();
+        let (m, core) = t.loc.expect("placed at home");
+        t.counter_base = core_packets(cluster.engine(MachineId(m)), core);
+    }
+
+    // Capacity probe: one unpaced window under home contention fixes each
+    // tenant's cycles/packet, from which the offered pace derives.
+    let ms = cluster.measure_all(0, window);
+    for t in tenants.iter_mut() {
+        let (m, core) = t.loc.expect("placed at home");
+        let cm = ms[m].as_ref().expect("machine up").core(core).expect("tenant measured");
+        t.cpp = window as f64 / cm.counts.total.packets.max(1) as f64;
+        t.offered_pace = (t.cpp / OFFERED_LOAD).max(1.0) as u64;
+        t.controls.pace_cycles.set(t.offered_pace);
+        drain_latency(&t.lat, freq);
+    }
+
+    // Calibration: the paced operating point each floor derives from.
+    let mut pps_sum = vec![0.0f64; tenants.len()];
+    for _ in 0..CALIB_WINDOWS {
+        let ms = cluster.measure_all(0, window);
+        for t in tenants.iter_mut() {
+            let (m, core) = t.loc.expect("placed at home");
+            pps_sum[t.id.0] +=
+                ms[m].as_ref().expect("machine up").core(core).expect("measured").metrics.pps;
+            drain_latency(&t.lat, freq);
+        }
+    }
+    for t in tenants.iter_mut() {
+        t.calib_pps = pps_sum[t.id.0] / CALIB_WINDOWS as f64;
+        t.prev = *t.drops.borrow();
+    }
+
+    let mut ctrl = controlled.then(|| {
+        let mut c = FleetController::new(FleetConfig {
+            machine_capacity: SLOTS,
+            ..FleetConfig::default()
+        });
+        for _ in 0..MACHINES {
+            c.add_machine();
+        }
+        for t in &tenants {
+            let id = c.add_tenant(t.flow, t.priority, MachineId(t.home));
+            assert_eq!(id, t.id, "controller ids mirror fleet order");
+            c.set_floor(id, FLOOR_FRAC * t.calib_pps);
+        }
+        c
+    });
+    let mut channels: Vec<TelemetryChannel<(TenantId, TelemetryReport)>> =
+        (0..MACHINES).map(|_| TelemetryChannel::new()).collect();
+
+    let mut injector = FaultInjector::new(sc.plan.clone());
+    let total = sc.last_event + CLUSTER_TAIL;
+    let mut derate = [0u64; MACHINES];
+    let mut probes = 0u32;
+    let mut parked_tenants: Vec<usize> = Vec::new();
+    let mut declare_dead_window = None;
+    let mut first_replacement_window = None;
+    let mut max_staleness = 0u32;
+    let mut min_rate_estimate = f64::INFINITY;
+
+    for w in 0..total {
+        // 1. Scripted machine-scoped faults.
+        let fired: Vec<_> = injector.advance(w).to_vec();
+        for tr in &fired {
+            let m = tr.target.map(|j| j as usize).expect("cluster faults are targeted");
+            match tr.kind {
+                FaultKind::MachineCrash { .. } => {
+                    if tr.begin {
+                        // Power loss: in-flight work on every resident is
+                        // forfeited through the counted drain path.
+                        for t in tenants.iter_mut() {
+                            if t.loc.map(|(tm, _)| tm) == Some(m) {
+                                park_tenant(t, &mut cluster);
+                            }
+                        }
+                        cluster.set_up(MachineId(m), false);
+                    } else {
+                        // Restart: the machine comes back empty; its
+                        // heartbeat below announces the recovery.
+                        cluster.set_up(MachineId(m), true);
+                    }
+                }
+                FaultKind::SocketDerate { stall_cycles } => {
+                    derate[m] = if tr.begin { stall_cycles as u64 } else { 0 };
+                }
+                FaultKind::TelemetryLoss => channels[m].set_loss(tr.begin),
+                FaultKind::TelemetryDelay { windows } => {
+                    channels[m].set_delay(if tr.begin { windows } else { 0 });
+                }
+                _ => panic!("machine-scoped plan only in the cluster sweep"),
+            }
+        }
+        // Derates strike machines; the stall follows current placement.
+        for t in &tenants {
+            if let Some((m, _)) = t.loc {
+                t.controls.stall_cycles.set(derate[m]);
+            }
+        }
+
+        // 2. Heartbeats: a direct function of machine up-ness, on a
+        // separate path from telemetry — a telemetry blackout must *not*
+        // look like death.
+        if let Some(ctrl) = ctrl.as_mut() {
+            for m in cluster.machine_ids() {
+                if cluster.is_up(m) {
+                    ctrl.heartbeat(m, w);
+                }
+            }
+        }
+
+        // 3. Whatever the control plane delivered this window.
+        if let Some(ctrl) = ctrl.as_mut() {
+            for ch in channels.iter_mut() {
+                for (tid, rep) in ch.recv(w) {
+                    ctrl.ingest(tid, &rep);
+                }
+            }
+        }
+
+        // 4. One control tick; the admission gate wraps predictor
+        // re-admission against the machine's current residents.
+        let actions = if let Some(ctrl) = ctrl.as_mut() {
+            let placed: Vec<(FlowType, Option<usize>)> =
+                tenants.iter().map(|t| (t.flow, t.loc.map(|(m, _)| m))).collect();
+            let mut gate = |m: MachineId, flow: FlowType| {
+                let resident: Vec<FlowType> = placed
+                    .iter()
+                    .filter(|(_, l)| *l == Some(m.index()))
+                    .map(|(f, _)| *f)
+                    .collect();
+                plan_ctx.admission.readmit(&resident, &plan_ctx.slas, flow).admitted()
+            };
+            ctrl.tick(w, &mut gate)
+        } else {
+            Vec::new()
+        };
+        for a in actions {
+            match a {
+                FleetAction::ProbeMachine { .. } => probes += 1,
+                FleetAction::DeclareDead { .. } => {
+                    declare_dead_window.get_or_insert(w);
+                }
+                FleetAction::Replace { tenant, to } => {
+                    let t = &mut tenants[tenant.0];
+                    // From a refuge (return-home) or from the parked box.
+                    let task = if t.loc.is_some() {
+                        flush_processed(t, &cluster);
+                        let (m, core) = t.loc.take().expect("checked");
+                        let mut task = cluster
+                            .engine_mut(MachineId(m))
+                            .take_task(core)
+                            .expect("located tenant");
+                        task.on_migrate();
+                        task
+                    } else {
+                        t.parked.take().expect("parked task present")
+                    };
+                    let dest = free_slot(&cluster, to)
+                        .expect("controller capacity keeps a slot free");
+                    let eng = cluster.engine_mut(to);
+                    // Join at the destination's fleet clock, like a churn
+                    // join — machines share no clock, only the window axis.
+                    let now = eng.machine.max_clock();
+                    eng.machine.core_mut(dest).clock = now;
+                    eng.set_task(dest, task);
+                    t.loc = Some((to.index(), dest));
+                    t.counter_base = core_packets(cluster.engine(to), dest);
+                    t.controls.pace_cycles.set(t.offered_pace);
+                    t.controls.stall_cycles.set(derate[to.index()]);
+                    first_replacement_window.get_or_insert(w);
+                }
+                FleetAction::Park { tenant } => {
+                    park_tenant(&mut tenants[tenant.0], &mut cluster);
+                    parked_tenants.push(tenant.0);
+                }
+            }
+        }
+        if let Some(ctrl) = ctrl.as_ref() {
+            for t in &tenants {
+                if let Some(s) = ctrl.staleness(t.id, w) {
+                    max_staleness = max_staleness.max(s);
+                }
+                if let Some(r) = ctrl.rate_estimate(t.id) {
+                    min_rate_estimate = min_rate_estimate.min(r);
+                }
+            }
+        }
+
+        // 5. One measured window per machine (down machines skip: their
+        // clocks freeze). Each running tenant's report goes onto its
+        // machine's telemetry channel — delivery is the channel's problem.
+        let ms = cluster.measure_all(0, window);
+        for t in tenants.iter_mut() {
+            let Some((m, core)) = t.loc else { continue };
+            let cm = ms[m]
+                .as_ref()
+                .expect("located tenants ride up machines")
+                .core(core)
+                .expect("running tenant measured");
+            t.min_pps = t.min_pps.min(cm.metrics.pps);
+            let cur = *t.drops.borrow();
+            let rep = TelemetryReport {
+                window: w,
+                pps: cm.metrics.pps,
+                p99_us: drain_latency(&t.lat, freq).p99_us,
+                loss_frac: observed_loss(&cur, &t.prev),
+            };
+            t.prev = cur;
+            channels[m].send(w, (t.id, rep));
+        }
+
+        // 6. Parked tenants refuse their offered load, counted.
+        for t in tenants.iter_mut() {
+            if t.loc.is_none() {
+                let refused = parked_arrivals(t, window);
+                let mut d = t.drops.borrow_mut();
+                d.offered += refused;
+                d.drained += refused;
+            }
+        }
+    }
+
+    // Close the ledger: flush every running tenant from its final core
+    // (parked tenants were flushed when they were taken off their engine).
+    for t in tenants.iter_mut() {
+        flush_processed(t, &cluster);
+    }
+    let digest = fnv1a64((0..MACHINES).flat_map(|m| {
+        let eng = cluster.engine(MachineId(m));
+        (0..SLOTS as u16).flat_map(move |c| {
+            let core = eng.machine.core(CoreId(c));
+            [m as u64, c as u64, core.clock, core.counters.total().packets]
+        })
+    }));
+
+    let (decisions, replacements) = match &ctrl {
+        Some(c) => (c.decisions(), c.replacements_used()),
+        None => (0, 0),
+    };
+    ClusterOutcome {
+        name: sc.name,
+        windows: total,
+        decisions,
+        replacements,
+        probes,
+        parked_tenants,
+        declare_dead_window,
+        first_replacement_window,
+        max_staleness,
+        min_rate_estimate,
+        tenants: tenants
+            .iter()
+            .map(|t| {
+                let drops = *t.drops.borrow();
+                let slack =
+                    drops.offered as i64 - t.processed as i64 - drops.undelivered() as i64;
+                ClusterTenantOutcome {
+                    flow: t.flow,
+                    priority: t.priority,
+                    home: t.home,
+                    final_machine: t.loc.map(|(m, _)| m),
+                    calib_pps: t.calib_pps,
+                    min_pps: t.min_pps,
+                    drops,
+                    processed: t.processed,
+                    conservation_slack: slack,
+                }
+            })
+            .collect(),
+        digest,
+    }
+}
+
+/// The scenario roster. Seeds mix the CLI master seed so `--seed` replays
+/// a failing timeline exactly.
+fn scenarios(seed: u64) -> Vec<ClusterScenario> {
+    vec![
+        ClusterScenario {
+            name: "machine-crash-restart",
+            // Machine 0 dies at w4 and restarts 10 windows later.
+            plan: FaultPlan::seeded(seed ^ 0xC1A5).with_machine_crash(CRASH_AT, 10, 0),
+            fleet: default_fleet(),
+            last_event: CRASH_AT + 10,
+        },
+        ClusterScenario {
+            name: "telemetry-blackout",
+            // Machine 2's control plane goes dark while its datapath
+            // degrades; the channel returns with a 2-window delay. Only
+            // the *reports* are struck — the machine never stops beating.
+            plan: FaultPlan::seeded(seed ^ 0xB1AD)
+                .with_target(4, 14, 2, FaultKind::TelemetryLoss)
+                .with_target(6, 12, 2, FaultKind::SocketDerate { stall_cycles: 20_000 })
+                .with_target(14, 18, 2, FaultKind::TelemetryDelay { windows: 2 }),
+            fleet: default_fleet(),
+            last_event: 18,
+        },
+        ClusterScenario {
+            name: "cascading-overload",
+            // Machine 0 carries three tenants (priorities 2/1/0) and dies
+            // for good — the restart lands far past the horizon. The
+            // survivors have one free slot each: someone must lose.
+            plan: FaultPlan::seeded(seed ^ 0xCA5C).with_machine_crash(CRASH_AT, 60, 0),
+            fleet: vec![
+                (FlowType::Ip, 2, 0),
+                (FlowType::Fw, 1, 0),
+                (FlowType::Mon, 0, 0),
+                (FlowType::Ip, 2, 1),
+                (FlowType::Mon, 1, 1),
+                (FlowType::Ip, 2, 2),
+                (FlowType::Mon, 1, 2),
+            ],
+            last_event: 12,
+        },
+        ClusterScenario {
+            name: "cluster-empty-plan",
+            plan: FaultPlan::empty(),
+            fleet: default_fleet(),
+            last_event: 0,
+        },
+    ]
+}
+
+/// Per-scenario assertions — the sweep's acceptance criteria.
+fn check(o: &ClusterOutcome) {
+    let n = o.name;
+    for t in &o.tenants {
+        assert_eq!(
+            t.conservation_slack, 0,
+            "[{n}/{}@m{}] fleet-wide ledger must conserve exactly",
+            t.flow, t.home
+        );
+        assert!(t.drops.offered > 0, "[{n}/{}@m{}] tenant saw traffic", t.flow, t.home);
+    }
+    let healthy_bound = |t: &ClusterTenantOutcome| {
+        assert_eq!(
+            t.final_machine,
+            Some(t.home),
+            "[{n}/{}@m{}] healthy tenant must stay home",
+            t.flow,
+            t.home
+        );
+        assert!(
+            t.min_pps >= INTERFERENCE_FLOOR * t.calib_pps,
+            "[{n}/{}@m{}] interference bound: min {:.3e} < {:.2} × calib {:.3e}",
+            t.flow,
+            t.home,
+            t.min_pps,
+            INTERFERENCE_FLOOR,
+            t.calib_pps
+        );
+    };
+    match n {
+        "machine-crash-restart" => {
+            let dead = o.declare_dead_window.expect("crash must be declared");
+            let first = o.first_replacement_window.expect("orphans must be re-placed");
+            assert!(
+                first - CRASH_AT <= REPLACEMENT_BOUND,
+                "[{n}] re-placement took {} windows (bound {REPLACEMENT_BOUND})",
+                first - CRASH_AT
+            );
+            assert!(dead <= first, "[{n}] replacement follows the declaration");
+            assert_eq!(o.probes, 2, "[{n}] two probes on capped backoff before death");
+            assert_eq!(o.replacements, 2, "[{n}] both orphans cost budget exactly once");
+            // DeclareDead + 2 orphan placements + 2 budget-free returns.
+            assert_eq!(o.decisions, 5, "[{n}] decision count is exact and bounded");
+            assert!(o.parked_tenants.is_empty(), "[{n}] zero healthy-machine collateral");
+            for t in &o.tenants {
+                if t.home == 0 {
+                    assert_eq!(
+                        t.final_machine,
+                        Some(0),
+                        "[{n}/{}] restart must send the refugee home",
+                        t.flow
+                    );
+                    assert!(t.drops.drained > 0, "[{n}/{}] crash loss counted", t.flow);
+                } else {
+                    healthy_bound(t);
+                }
+            }
+        }
+        "telemetry-blackout" => {
+            assert_eq!(
+                o.decisions, 0,
+                "[{n}] blindness bounds the decision rate: hold, don't flap"
+            );
+            assert_eq!(o.probes, 0, "[{n}] heartbeats never stopped — no liveness doubt");
+            assert!(
+                o.max_staleness >= BLACKOUT_STALENESS_FLOOR,
+                "[{n}] the blackout must actually blind the controller \
+                 (max staleness {} < {BLACKOUT_STALENESS_FLOOR})",
+                o.max_staleness
+            );
+            let min_calib =
+                o.tenants.iter().map(|t| t.calib_pps).fold(f64::INFINITY, f64::min);
+            assert!(
+                o.min_rate_estimate >= FLOOR_FRAC * min_calib,
+                "[{n}] silence must hold last-known-good, never read as rate 0 \
+                 (min estimate {:.3e})",
+                o.min_rate_estimate
+            );
+            for t in &o.tenants {
+                // The derated machine's tenants dip by design; everyone
+                // stays home either way.
+                assert_eq!(t.final_machine, Some(t.home), "[{n}/{}] nobody moves", t.flow);
+                if t.home != 2 {
+                    healthy_bound(t);
+                }
+            }
+        }
+        "cascading-overload" => {
+            assert_eq!(o.replacements, 2, "[{n}] the two higher classes are re-placed");
+            // DeclareDead + 2 placements + 1 park.
+            assert_eq!(o.decisions, 4, "[{n}] shed by SLA class, then hold");
+            assert_eq!(o.parked_tenants.len(), 1, "[{n}] exactly one tenant parks");
+            let parked = &o.tenants[o.parked_tenants[0]];
+            assert_eq!(parked.priority, 0, "[{n}] the lowest SLA class parks");
+            assert_eq!(parked.final_machine, None, "[{n}] no slot ever frees up");
+            assert!(parked.drops.drained > 0, "[{n}] parked loss is counted, not silent");
+            for t in &o.tenants {
+                if t.home == 0 && t.priority > 0 {
+                    let m = t.final_machine.expect("re-placed refugee is running");
+                    assert_ne!(m, 0, "[{n}/{}] the dead machine never hosts", t.flow);
+                } else if t.home != 0 {
+                    assert!(
+                        t.min_pps >= INTERFERENCE_FLOOR * t.calib_pps,
+                        "[{n}/{}@m{}] survivor interference bound",
+                        t.flow,
+                        t.home
+                    );
+                }
+            }
+        }
+        "cluster-empty-plan" => {
+            assert_eq!(o.decisions, 0, "[{n}] the idle control plane decides nothing");
+            assert_eq!(o.probes, 0);
+            assert!(o.parked_tenants.is_empty());
+            for t in &o.tenants {
+                assert_eq!(t.drops.drained, 0, "[{n}/{}] nothing drained", t.flow);
+                assert_eq!(t.final_machine, Some(t.home));
+            }
+        }
+        other => panic!("unknown scenario {other}"),
+    }
+}
+
+/// Run the cluster-chaos sweep: profile admission once, run every
+/// scenario, check the empty-plan identity, emit the table + JSON
+/// artifact, assert.
+pub fn run(ctx: &RunCtx) -> Vec<ClusterOutcome> {
+    ctx.heading("Cluster chaos — the fleet controller under machine death and lying telemetry");
+    println!("profiling re-placement admission…");
+    let predictor = Predictor::profile(&PROFILE, ctx.levels.min(3), ctx.params, ctx.threads);
+    let admission = AdmissionController::new(&predictor);
+    let slas: Vec<Sla> =
+        PROFILE.iter().map(|&f| Sla { flow: f, max_drop_pct: 40.0 }).collect();
+    let plan_ctx = ClusterPlanCtx { admission, slas };
+
+    let mut outcomes = Vec::new();
+    for sc in &scenarios(ctx.params.seed) {
+        println!("scenario {}…", sc.name);
+        let outcome = run_cluster_scenario(ctx, sc, &plan_ctx, true);
+        if sc.name == "cluster-empty-plan" {
+            println!("scenario cluster-empty-plan (controller-free twin)…");
+            let twin = run_cluster_scenario(ctx, sc, &plan_ctx, false);
+            // Bit-for-bit identity across N machines: same digest, same
+            // per-tenant ledgers — an idle control plane is free.
+            assert_eq!(
+                outcome.digest, twin.digest,
+                "[cluster-empty-plan] core clocks/counters diverged"
+            );
+            for (a, b) in outcome.tenants.iter().zip(twin.tenants.iter()) {
+                assert_eq!(a.processed, b.processed, "[cluster-empty-plan] {}", a.flow);
+                assert_eq!(a.drops, b.drops, "[cluster-empty-plan] {} ledger", a.flow);
+            }
+            println!("empty-plan digest {:#018x} (twin identical)", outcome.digest);
+        }
+        outcomes.push(outcome);
+    }
+
+    let mut table = Table::new(
+        "Cluster chaos: fleet-controller response per tenant per scenario",
+        &[
+            "scenario", "tenant", "prio", "home", "end", "offered", "processed",
+            "drained", "lost", "min/calib", "slack",
+        ],
+    );
+    for o in &outcomes {
+        for t in &o.tenants {
+            table.row(vec![
+                o.name.to_string(),
+                t.flow.to_string(),
+                t.priority.to_string(),
+                format!("m{}", t.home),
+                t.final_machine.map(|m| format!("m{m}")).unwrap_or_else(|| "parked".into()),
+                t.drops.offered.to_string(),
+                t.processed.to_string(),
+                t.drops.drained.to_string(),
+                t.drops.total_dropped().to_string(),
+                format!("{:.2}", t.min_pps / t.calib_pps.max(1.0)),
+                t.conservation_slack.to_string(),
+            ]);
+        }
+    }
+    ctx.emit("cluster_chaos", &table);
+
+    // CLUSTER_CHAOS_results.json lands in the repository root (CI artifact).
+    let rows: Vec<JsonRow> = outcomes
+        .iter()
+        .flat_map(|o| {
+            o.tenants.iter().map(move |t| {
+                JsonRow::new()
+                    .str("scenario", o.name)
+                    .str("tenant", t.flow)
+                    .num("priority", t.priority)
+                    .num("home", t.home)
+                    .opt_num("final_machine", t.final_machine)
+                    .num("calib_pps", format!("{:.1}", t.calib_pps))
+                    .num("min_pps", format!("{:.1}", t.min_pps))
+                    .num("offered", t.drops.offered)
+                    .num("processed", t.processed)
+                    .num("drained", t.drops.drained)
+                    .num("total_dropped", t.drops.total_dropped())
+                    .num("conservation_slack", t.conservation_slack)
+                    .num("decisions", o.decisions)
+                    .num("replacements", o.replacements)
+                    .num("probes", o.probes)
+                    .num("max_staleness", o.max_staleness)
+                    .opt_num("declared_dead_at", o.declare_dead_window)
+                    .opt_num("first_replacement_at", o.first_replacement_window)
+            })
+        })
+        .collect();
+    save_results_json("CLUSTER_CHAOS_results.json", "tenants", &rows);
+
+    for o in &outcomes {
+        check(o);
+    }
+    println!(
+        "cluster-chaos: {} scenarios × {MACHINES} machines — bounded re-placement, \
+         blind windows decide nothing, shed by SLA class, exact fleet-wide conservation",
+        outcomes.len(),
+    );
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_chaos_holds_its_claims_at_test_scale() {
+        let mut ctx = RunCtx::quick();
+        ctx.params.warmup_ms = 0.5;
+        ctx.params.window_ms = 1.5;
+        ctx.out_dir = std::env::temp_dir();
+        let outcomes = run(&ctx);
+        assert_eq!(outcomes.len(), 4);
+    }
+}

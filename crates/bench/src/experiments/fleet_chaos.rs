@@ -68,6 +68,7 @@
 //! Results land in `fleet_chaos.csv` and `FLEET_CHAOS_results.json`
 //! (machine-readable, uploaded as a CI artifact).
 
+use crate::experiments::results_json::{save_results_json, JsonRow};
 use crate::RunCtx;
 use pp_core::prelude::*;
 use pp_sim::config::MachineConfig;
@@ -77,7 +78,6 @@ use pp_sim::latency::LatencyHistogram;
 use pp_sim::machine::Machine;
 use pp_sim::types::{CoreId, MemDomain};
 use std::cell::RefCell;
-use std::io::Write as _;
 use std::rc::Rc;
 
 /// The fleet: one tenant per entry, resident on cores 0..N of socket 0.
@@ -849,51 +849,35 @@ pub fn run(ctx: &RunCtx) -> Vec<FleetOutcome> {
     ctx.emit("fleet_chaos", &table);
 
     // FLEET_CHAOS_results.json lands in the repository root (CI artifact).
-    let points: Vec<String> = outcomes
+    let rows: Vec<JsonRow> = outcomes
         .iter()
         .flat_map(|o| {
             o.tenants.iter().map(move |t| {
-                format!(
-                    "    {{\"scenario\": \"{}\", \"tenant\": \"{}\", \
-                     \"peak_level\": \"{}\", \"final_level\": \"{}\", \
-                     \"final_running\": {}, \"trips\": {}, \"failed_probes\": {}, \
-                     \"migrations\": {}, \"recalibrations\": {}, \
-                     \"evicted_windows\": {}, \"guard_transitions\": {}, \
-                     \"offered\": {}, \"processed\": {}, \"drained\": {}, \
-                     \"shed\": {}, \"element_dropped\": {}, \"wire_overflow\": {}, \
-                     \"total_dropped\": {}, \"recovery_windows\": {}, \
-                     \"conservation_slack\": {}}}",
-                    o.name,
-                    t.flow,
-                    t.peak_level,
-                    t.final_level,
-                    t.final_running,
-                    t.stats.trips,
-                    t.stats.failed_probes,
-                    t.stats.migrations,
-                    t.stats.recalibrations,
-                    t.stats.evicted_windows,
-                    t.guard_transitions,
-                    t.drops.offered,
-                    t.processed,
-                    t.drops.drained,
-                    t.drops.shed,
-                    t.drops.element_dropped,
-                    t.drops.wire_overflow,
-                    t.drops.total_dropped(),
-                    t.recovery_windows.map(|r| r.to_string()).unwrap_or_else(|| "null".into()),
-                    t.conservation_slack,
-                )
+                JsonRow::new()
+                    .str("scenario", o.name)
+                    .str("tenant", t.flow)
+                    .str("peak_level", t.peak_level)
+                    .str("final_level", t.final_level)
+                    .num("final_running", t.final_running)
+                    .num("trips", t.stats.trips)
+                    .num("failed_probes", t.stats.failed_probes)
+                    .num("migrations", t.stats.migrations)
+                    .num("recalibrations", t.stats.recalibrations)
+                    .num("evicted_windows", t.stats.evicted_windows)
+                    .num("guard_transitions", t.guard_transitions)
+                    .num("offered", t.drops.offered)
+                    .num("processed", t.processed)
+                    .num("drained", t.drops.drained)
+                    .num("shed", t.drops.shed)
+                    .num("element_dropped", t.drops.element_dropped)
+                    .num("wire_overflow", t.drops.wire_overflow)
+                    .num("total_dropped", t.drops.total_dropped())
+                    .opt_num("recovery_windows", t.recovery_windows)
+                    .num("conservation_slack", t.conservation_slack)
             })
         })
         .collect();
-    let json = format!("{{\n  \"tenants\": [\n{}\n  ]\n}}\n", points.join(",\n"));
-    match std::fs::File::create("FLEET_CHAOS_results.json")
-        .and_then(|mut f| f.write_all(json.as_bytes()))
-    {
-        Ok(()) => println!("[saved FLEET_CHAOS_results.json]"),
-        Err(e) => eprintln!("[warn] could not write FLEET_CHAOS_results.json: {e}"),
-    }
+    save_results_json("FLEET_CHAOS_results.json", "tenants", &rows);
 
     for o in &outcomes {
         check(o);

@@ -1,0 +1,104 @@
+//! Shared writer for the `*_results.json` CI artifacts.
+//!
+//! `chaos`, `fleet-chaos`, and `cluster-chaos` each drop a flat JSON
+//! summary in the repository root for CI to upload. The shape is always
+//! the same — one top-level key holding an array of flat records with
+//! string, numeric, and nullable-numeric fields — so the three harnesses
+//! share one builder instead of three hand-rolled `format!` blocks that
+//! drift apart one field at a time.
+
+use std::fmt::Display;
+use std::io::Write as _;
+
+/// One flat record. Fields render in insertion order.
+#[derive(Debug, Default)]
+pub struct JsonRow {
+    fields: Vec<(String, String)>,
+}
+
+/// Minimal string escaping for the values these harnesses emit (scenario
+/// and flow names): quotes, backslashes, and control characters.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl JsonRow {
+    /// An empty record.
+    pub fn new() -> Self {
+        JsonRow::default()
+    }
+
+    /// Add a quoted string field.
+    pub fn str(mut self, key: &str, value: impl Display) -> Self {
+        self.fields.push((key.to_string(), format!("\"{}\"", escape(&value.to_string()))));
+        self
+    }
+
+    /// Add an unquoted field (numbers, booleans).
+    pub fn num(mut self, key: &str, value: impl Display) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Add an unquoted field that renders `null` when absent.
+    pub fn opt_num(mut self, key: &str, value: Option<impl Display>) -> Self {
+        let rendered = value.map(|v| v.to_string()).unwrap_or_else(|| "null".into());
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    fn render(&self) -> String {
+        let body: Vec<String> =
+            self.fields.iter().map(|(k, v)| format!("\"{}\": {}", escape(k), v)).collect();
+        format!("    {{{}}}", body.join(", "))
+    }
+}
+
+/// Write `{ "<top_key>": [rows...] }` to `file_name` in the current
+/// directory (the repository root under `repro`), printing the same
+/// `[saved …]` / `[warn] …` lines the hand-rolled writers printed. A
+/// write failure warns and continues — the artifact is a convenience,
+/// not a gate.
+pub fn save_results_json(file_name: &str, top_key: &str, rows: &[JsonRow]) {
+    let points: Vec<String> = rows.iter().map(JsonRow::render).collect();
+    let json = format!("{{\n  \"{}\": [\n{}\n  ]\n}}\n", escape(top_key), points.join(",\n"));
+    match std::fs::File::create(file_name).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("[saved {file_name}]"),
+        Err(e) => eprintln!("[warn] could not write {file_name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_render_in_insertion_order_with_typed_values() {
+        let row = JsonRow::new()
+            .str("scenario", "machine-crash")
+            .num("windows", 28)
+            .num("ok", true)
+            .opt_num("recovery", Some(7))
+            .opt_num("gap", None::<u32>);
+        assert_eq!(
+            row.render(),
+            "    {\"scenario\": \"machine-crash\", \"windows\": 28, \"ok\": true, \
+             \"recovery\": 7, \"gap\": null}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let row = JsonRow::new().str("name", "a\"b\\c\nd");
+        assert_eq!(row.render(), "    {\"name\": \"a\\\"b\\\\c\\u000ad\"}");
+    }
+}

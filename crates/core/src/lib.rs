@@ -36,6 +36,11 @@
 //!   circuit-breaker admission with jittered half-open probes, core
 //!   failover under sustained violation, and drift-triggered model
 //!   re-calibration (`repro fleet-chaos`).
+//! * **Fleet controller** ([`fleet`], [`telemetry`]) — beyond the paper:
+//!   the cluster-level control plane — timestamped EWMA telemetry with
+//!   staleness-decayed confidence, heartbeat-timeout machine-death
+//!   detection with capped probe backoff, and budgeted admission-gated
+//!   re-placement across survivors (`repro cluster-chaos`).
 //!
 //! The measurement substrate is `pp-sim` (a deterministic multicore
 //! simulator) with workloads from `pp-click`; see ARCHITECTURE.md at the
@@ -69,6 +74,7 @@
 pub mod admission;
 pub mod batch_control;
 pub mod experiment;
+pub mod fleet;
 pub mod guard;
 pub mod model;
 pub mod persist;
@@ -78,6 +84,7 @@ pub mod profiler;
 pub mod report;
 pub mod sensitivity;
 pub mod supervisor;
+pub mod telemetry;
 pub mod throttle;
 pub mod workload;
 
@@ -94,6 +101,7 @@ pub mod prelude {
         run_scenario, solo_scenario, ContentionConfig, CoRunOutcome, ExpParams,
         FlowPlacement, FlowResult, LatencySummary, Scenario, ScenarioResult,
     };
+    pub use crate::fleet::{FleetAction, FleetConfig, FleetController, MachineState};
     pub use crate::guard::{
         DegradeLevel, GuardConfig, GuardDirective, GuardEnvelope, GuardTransition,
         RuntimeGuard, WindowObservation,
@@ -115,6 +123,7 @@ pub mod prelude {
         Supervisor, SupervisorAction, SupervisorConfig, SupervisorDirective, TenantId,
         TenantState, TenantStats,
     };
+    pub use crate::telemetry::{EwmaTracker, TelemetryReport, TenantTelemetry};
     pub use crate::throttle::{
         run_containment_demo, ContainmentResult, ContainmentSample, ThrottleController,
     };

@@ -373,6 +373,28 @@ impl Supervisor {
     /// known transient fault targeted this tenant this window (drift is
     /// only diagnosed on non-fault windows — a disturbance is the
     /// guard's job, not the model's fault).
+    ///
+    /// # Edge-case ordering (pinned by tests)
+    ///
+    /// * **Breaker beats migration.** The shed-streak check runs before
+    ///   the migrate check, so a window in which the shed streak reaches
+    ///   `shed_windows_to_trip` *and* the migrate streak reaches
+    ///   `migrate_after` trips the breaker: the tenant is evicted, no
+    ///   migration happens, and no migration budget is consumed. The
+    ///   same winner holds when the budget is already exhausted — a
+    ///   migration that cannot fire simply lets the ladder ride to the
+    ///   trip. Rationale: by the time the guard has been pinned at Shed
+    ///   for K windows, a placement change is a gamble while eviction is
+    ///   a guarantee; the probe cycle will re-test the tenant cheaply.
+    /// * **A half-open probe carries no fault-awareness.** A `Probe`
+    ///   trial window that collides with a still-active targeted fault
+    ///   is judged exactly like any other trial: a violating observation
+    ///   re-opens the breaker and doubles the delay (capped); a clean
+    ///   one re-admits. `fault_active` influences only drift diagnosis —
+    ///   the supervisor never peeks at the injector's schedule to excuse
+    ///   a failed trial, because granting fault-aware mercy would leak
+    ///   schedule knowledge into mechanism and turn the trial window
+    ///   into a no-op during exactly the storms it exists to meter.
     pub fn observe(
         &mut self,
         t: TenantId,
@@ -722,5 +744,67 @@ mod tests {
         assert_eq!(d.level, DegradeLevel::Shed);
         assert!(matches!(d.action, SupervisorAction::Evict { retry_in: 2 }));
         assert_eq!(s.stats(t).evicted_windows, 1);
+    }
+
+    #[test]
+    fn probe_colliding_with_active_fault_is_judged_like_any_trial() {
+        // The half-open trial carries no fault-awareness: the same
+        // observation yields the same directive whether or not a
+        // targeted fault is still active during the probe window.
+        let trial = |obs: WindowObservation, fault_active: bool| {
+            let mut s = Supervisor::new(no_jitter());
+            let t = s.admit(FlowType::Ip, envelope(), 2_000_000.0);
+            sink_to_shed(&mut s, t);
+            s.observe(t, &bad(), false, true);
+            s.observe(t, &bad(), false, true); // trip (backoff 2 → 4)
+            s.tick_parked(t);
+            assert_eq!(s.tick_parked(t).action, SupervisorAction::Probe);
+            let d = s.observe(t, &obs, false, fault_active);
+            (d.action, s.stats(t).failed_probes)
+        };
+        // Violating trial mid-fault: re-opens with the doubled delay,
+        // exactly as it would with the fault already gone.
+        assert_eq!(trial(bad(), true), trial(bad(), false));
+        assert_eq!(trial(bad(), true), (SupervisorAction::Evict { retry_in: 4 }, 1));
+        // Clean trial mid-fault: re-admits — the flag never blocks a
+        // passing probe either (it only gates drift diagnosis).
+        assert_eq!(trial(good(), true), trial(good(), false));
+        assert_eq!(trial(good(), true), (SupervisorAction::Readmit, 0));
+    }
+
+    #[test]
+    fn breaker_trip_beats_migration_in_the_same_window() {
+        // migrate_after = 5 makes the migrate streak (counted from the
+        // Throttle rung, reached at w5) and the shed streak (counted
+        // from the Shed rung, reached at w7, tripping at 3) both cross
+        // their thresholds on the same window, w9 — with a sibling free
+        // and budget to spare. The breaker is checked first and wins.
+        let mut s = Supervisor::new(SupervisorConfig { migrate_after: 5, ..no_jitter() });
+        let t = s.admit(FlowType::Ip, envelope(), 2_000_000.0);
+        for _ in 0..9 {
+            let d = s.observe(t, &bad(), true, true);
+            assert_eq!(d.action, SupervisorAction::Continue);
+        }
+        let d = s.observe(t, &bad(), true, true);
+        assert_eq!(d.action, SupervisorAction::Evict { retry_in: 2 }, "trip, not migrate");
+        assert_eq!(s.stats(t).trips, 1);
+        assert_eq!(s.stats(t).migrations, 0, "no budget consumed by the losing branch");
+    }
+
+    #[test]
+    fn exhausted_budget_lets_the_ladder_ride_to_the_trip() {
+        // Same collision with the migration budget already spent: the
+        // migrate branch cannot fire at its threshold (w6 here), the
+        // ladder rides on, and the breaker trips on schedule.
+        let mut s =
+            Supervisor::new(SupervisorConfig { migration_budget: 0, ..no_jitter() });
+        let t = s.admit(FlowType::Ip, envelope(), 2_000_000.0);
+        for _ in 0..9 {
+            let d = s.observe(t, &bad(), true, true);
+            assert_eq!(d.action, SupervisorAction::Continue, "budget 0: never Migrate");
+        }
+        let d = s.observe(t, &bad(), true, true);
+        assert_eq!(d.action, SupervisorAction::Evict { retry_in: 2 });
+        assert_eq!(s.stats(t).migrations, 0);
     }
 }

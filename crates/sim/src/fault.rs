@@ -210,6 +210,40 @@ pub enum FaultKind {
         /// Corruption rate in per mille.
         per_mille: u16,
     },
+    /// Machine-level crash (cluster plans only; `target` carries the
+    /// *machine* index, not a tenant slot). The machine stops serving at
+    /// the event's start window and restarts — empty, clock frozen where
+    /// it died — `restart_after` windows later. The cluster driver
+    /// forfeits crash-orphaned in-flight load as counted `drained` loss,
+    /// so the fleet-wide ledger still closes. Schedule via
+    /// [`FaultPlan::with_machine_crash`], which keeps the interval and
+    /// the field in lockstep.
+    MachineCrash {
+        /// Windows from crash to restart. Use a value past the end of the
+        /// run for a machine that never comes back.
+        restart_after: u32,
+    },
+    /// Socket-wide frequency derate (cluster plans; `target` = machine
+    /// index): every task on the machine is charged this many extra
+    /// stall cycles per turn, modelling a thermal cap or a sick VRM that
+    /// hits the whole socket rather than one core.
+    SocketDerate {
+        /// Extra stall cycles per turn, applied to every resident task.
+        stall_cycles: u32,
+    },
+    /// Control-plane loss (cluster plans; `target` = machine index): the
+    /// machine's *telemetry channel* drops every report for the duration.
+    /// The datapath is untouched — packets still flow; the controller
+    /// just goes blind. Heartbeats are a separate path and keep flowing,
+    /// so blindness must not be mistaken for death.
+    TelemetryLoss,
+    /// Control-plane lag (cluster plans; `target` = machine index): the
+    /// machine's telemetry channel delays every report by this many
+    /// windows. Again datapath-neutral — reports arrive intact, late.
+    TelemetryDelay {
+        /// Extra delivery delay in windows.
+        windows: u32,
+    },
 }
 
 impl FaultKind {
@@ -222,6 +256,10 @@ impl FaultKind {
             FaultKind::PoolPressure { .. } => "pool-pressure",
             FaultKind::QueuePressure { .. } => "queue-pressure",
             FaultKind::Corruption { .. } => "corruption",
+            FaultKind::MachineCrash { .. } => "machine-crash",
+            FaultKind::SocketDerate { .. } => "socket-derate",
+            FaultKind::TelemetryLoss => "telemetry-loss",
+            FaultKind::TelemetryDelay { .. } => "telemetry-delay",
         }
     }
 }
@@ -308,6 +346,24 @@ impl FaultPlan {
     ) -> Self {
         assert!(until > at, "fault interval must be non-empty");
         self.events.push(FaultEvent { at, until, jitter, kind, target: Some(target) });
+        self
+    }
+
+    /// Add a machine crash beginning at window `at` on machine `machine`,
+    /// restarting `restart_after` windows later. The event interval and
+    /// the [`FaultKind::MachineCrash`] field are derived from the same
+    /// argument so they cannot drift apart: the crash is active on
+    /// `[at, at + restart_after)` and the machine serves again at
+    /// `at + restart_after`.
+    pub fn with_machine_crash(mut self, at: u32, restart_after: u32, machine: u8) -> Self {
+        assert!(restart_after > 0, "crash downtime must be non-empty");
+        self.events.push(FaultEvent {
+            at,
+            until: at.saturating_add(restart_after),
+            jitter: 0,
+            kind: FaultKind::MachineCrash { restart_after },
+            target: Some(machine),
+        });
         self
     }
 

@@ -82,6 +82,7 @@
 
 pub mod arena;
 pub mod cache;
+pub mod cluster;
 pub mod config;
 pub mod counters;
 pub mod ctx;
@@ -101,6 +102,7 @@ pub mod types;
 pub mod prelude {
     pub use crate::arena::{DomainAllocator, SimRing, SimVec};
     pub use crate::cache::{Cache, CacheStats, LookupResult};
+    pub use crate::cluster::{Cluster, MachineId, TelemetryChannel};
     pub use crate::config::{CacheGeom, MachineConfig};
     pub use crate::counters::{CounterSnapshot, Counts, DerivedMetrics, TagId};
     pub use crate::ctx::ExecCtx;
