@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro <subcommand> [--quick] [--threads N] [--levels N] [--out DIR] [--seed N]
+//! repro <subcommand> [--quick] [--jobs N] [--levels N] [--out DIR] [--seed N]
 //!
 //! subcommands:
 //!   table1     Table 1  — solo-run characteristics
@@ -41,10 +41,16 @@
 //! runs); default is paper scale. `--packets N` sizes the measurement
 //! window so a scalar flow covers roughly N packets — one knob for
 //! simulation size shared by every sweep (it overrides the base window
-//! regardless of flag order). `--seed N` replaces the master seed every
-//! derived seed (workload structure, fault-plan jitter, supervisor probe
-//! jitter) mixes from — replay a failing chaos/fleet-chaos/cluster-chaos
-//! timeline by passing the seed the report named. Results land in `results/*.csv`.
+//! regardless of flag order). `--jobs N` shards each sweep's independent
+//! scenario points across N host threads (default: available cores;
+//! `--jobs 1` is the exact serial path; `--threads` is the pre-PR-9 alias).
+//! Results are bit-for-bit identical at any job count — each point builds
+//! its own engine from its own derived seed and results merge in canonical
+//! order; `repro perf` always times sequentially regardless. `--seed N`
+//! replaces the master seed every derived seed (workload structure,
+//! fault-plan jitter, supervisor probe jitter) mixes from — replay a
+//! failing chaos/fleet-chaos/cluster-chaos timeline by passing the seed
+//! the report named. Results land in `results/*.csv`.
 
 use pp_bench::experiments;
 use pp_bench::RunCtx;
@@ -53,7 +59,7 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: repro <table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|pipeline|pipeline-batch|throttle|ablate|extended|cat|mixes|batch|adaptive|perf|chaos|fleet-chaos|cluster-chaos|all> \
-         [--quick] [--packets N] [--threads N] [--levels N] [--out DIR] [--seed N]"
+         [--quick] [--packets N] [--jobs N] [--levels N] [--out DIR] [--seed N]"
     );
     std::process::exit(2);
 }
@@ -69,7 +75,7 @@ fn main() {
     // flag order on the command line never silently discards a flag.
     let mut quick = false;
     let mut packets: Option<u64> = None;
-    let mut threads: Option<usize> = None;
+    let mut jobs: Option<usize> = None;
     let mut levels: Option<u8> = None;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut seed: Option<u64> = None;
@@ -77,9 +83,11 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
-            "--threads" => {
+            // `--threads` is the pre-PR-9 spelling of `--jobs`; both shard
+            // the sweep's independent points across host worker threads.
+            "--jobs" | "--threads" => {
                 i += 1;
-                threads =
+                jobs =
                     Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
             }
             "--packets" => {
@@ -112,8 +120,8 @@ fn main() {
     if let Some(n) = packets {
         ctx.params = ctx.params.with_packets(n);
     }
-    if let Some(t) = threads {
-        ctx.threads = t;
+    if let Some(j) = jobs {
+        ctx.jobs = j.max(1);
     }
     if let Some(l) = levels {
         ctx.levels = l;
@@ -126,8 +134,8 @@ fn main() {
     }
 
     println!(
-        "repro: {} (scale: {:?}, warmup {} ms, window {} ms, {} threads, {} ramp levels)",
-        cmd, ctx.params.scale, ctx.params.warmup_ms, ctx.params.window_ms, ctx.threads, ctx.levels
+        "repro: {} (scale: {:?}, warmup {} ms, window {} ms, {} jobs, {} ramp levels)",
+        cmd, ctx.params.scale, ctx.params.warmup_ms, ctx.params.window_ms, ctx.jobs, ctx.levels
     );
     let t0 = Instant::now();
     match cmd.as_str() {

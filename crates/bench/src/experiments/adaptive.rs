@@ -138,7 +138,7 @@ pub fn measure_grid(ctx: &RunCtx) -> Vec<FixedPoint> {
             }
         }
     }
-    run_many(items, ctx.threads, move |(flow, scenario, b)| {
+    run_many(items, ctx.jobs, move |(flow, scenario, b)| {
         measure_point(flow, scenario, b, params)
     })
 }
@@ -307,7 +307,7 @@ pub fn run(ctx: &RunCtx) {
         REVALIDATION_BATCH,
         ctx.levels,
         ctx.params,
-        ctx.threads,
+        ctx.jobs,
     );
     let mut ptable = Table::new(
         "Prediction error at batch 64 (profiled and measured on the batched datapath)",

@@ -106,7 +106,7 @@ pub fn measure(ctx: &RunCtx) -> Vec<BatchPoint> {
             items.push((flow, b));
         }
     }
-    run_many(items, ctx.threads, move |(flow, batch)| {
+    run_many(items, ctx.jobs, move |(flow, batch)| {
         measure_point(flow, batch, params)
     })
 }

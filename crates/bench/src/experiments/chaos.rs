@@ -67,6 +67,7 @@ const THROTTLE_HEADROOM: f64 = 1.1;
 const SHED_PER_MILLE: u16 = 50;
 
 /// One chaos scenario: a workload topology plus a fault timeline.
+#[derive(Debug, Clone)]
 struct FlowScenario {
     name: &'static str,
     plan: FaultPlan,
@@ -78,8 +79,10 @@ struct FlowScenario {
 }
 
 /// Everything one scenario run produced — the table row, the JSON record,
-/// and the raw numbers the robustness assertions check.
-#[derive(Debug, Clone)]
+/// and the raw numbers the robustness assertions check. `PartialEq`
+/// compares every field (float fields included, exactly) — the determinism
+/// harness uses it to pin parallel runs bit-for-bit against serial.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioOutcome {
     /// Scenario name.
     pub name: &'static str,
@@ -576,6 +579,112 @@ fn flow_scenarios(seed: u64) -> Vec<FlowScenario> {
     ]
 }
 
+/// One self-contained unit of parallel work: a scenario plus everything
+/// needed to run it. Jobs hold only plain config data (`Send`), so
+/// `run_many` can shard them across host threads; each worker builds its
+/// own `Machine`/`Engine` (engines are `Rc`-based and must never cross a
+/// thread boundary) from the scenario's derived seed.
+#[derive(Debug, Clone)]
+enum ChaosJob {
+    /// A single-flow scenario from [`flow_scenarios`].
+    Flow(FlowScenario),
+    /// The two-core pipeline scenario (queue pressure).
+    Pipeline { name: &'static str, plan: FaultPlan },
+}
+
+impl ChaosJob {
+    fn name(&self) -> &'static str {
+        match self {
+            ChaosJob::Flow(sc) => sc.name,
+            ChaosJob::Pipeline { name, .. } => name,
+        }
+    }
+
+    fn plan(&self) -> &FaultPlan {
+        match self {
+            ChaosJob::Flow(sc) => &sc.plan,
+            ChaosJob::Pipeline { plan, .. } => plan,
+        }
+    }
+}
+
+/// The full roster as parallel jobs, in canonical (reporting) order.
+fn roster(seed: u64) -> Vec<ChaosJob> {
+    flow_scenarios(seed)
+        .into_iter()
+        .map(ChaosJob::Flow)
+        .chain(std::iter::once(ChaosJob::Pipeline {
+            name: "queue-pressure",
+            // Clamp the 128-slot ring to a single slot: partial-burst
+            // backpressure degenerates to scalar handoffs, de-amortizing
+            // the per-burst fixed costs on both stages.
+            plan: FaultPlan::seeded(seed ^ 0x5EA)
+                .with(2, 6, FaultKind::QueuePressure { cap: 1 }),
+        }))
+        .collect()
+}
+
+/// Canonical scenario names, in sweep order — the vocabulary accepted by
+/// [`measure_scenarios`].
+pub fn scenario_names() -> Vec<&'static str> {
+    roster(0).iter().map(ChaosJob::name).collect()
+}
+
+/// Every scenario's fault plan under master seed `seed`, by name. Each
+/// plan's seed is a per-scenario mix of the master seed (never a
+/// sequential draw from one RNG), so a scenario's resolved timeline is
+/// independent of which other scenarios run — the determinism proptests
+/// pin exactly that.
+pub fn scenario_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    roster(seed).iter().map(|j| (j.name(), j.plan().clone())).collect()
+}
+
+/// Measure a subset of the roster (by name), sharded across `ctx.jobs`
+/// host threads, outcomes merged in canonical scenario order. Passing
+/// [`scenario_names`] runs the full sweep. Results are bit-for-bit
+/// identical at any job count: each scenario derives its own seeds and
+/// builds its own engine, and the shrink-rung calibration is
+/// subset-independent.
+pub fn measure_scenarios(ctx: &RunCtx, names: &[&str]) -> Vec<ScenarioOutcome> {
+    let controller = BatchController::calibrate(FlowType::Ip, ctx.params, ctx.jobs);
+    let jobs: Vec<ChaosJob> = roster(ctx.params.seed)
+        .into_iter()
+        .filter(|j| names.contains(&j.name()))
+        .collect();
+    run_many(jobs, ctx.jobs, |job| match job {
+        ChaosJob::Flow(sc) => run_flow_scenario(ctx, &sc, &controller),
+        ChaosJob::Pipeline { name, plan } => run_pipeline_scenario(ctx, name, plan),
+    })
+}
+
+/// The `CHAOS_results.json` records for a set of outcomes (one flat row
+/// per scenario, canonical order preserved).
+pub fn json_rows(outcomes: &[ScenarioOutcome]) -> Vec<JsonRow> {
+    outcomes
+        .iter()
+        .map(|o| {
+            JsonRow::new()
+                .str("scenario", o.name)
+                .num("windows", o.windows)
+                .str("peak_level", o.peak_level)
+                .num("reprobes", o.reprobes)
+                .num("transitions", o.transitions)
+                .num("fault_events", o.fault_events)
+                .num("offered", o.drops.offered)
+                .num("processed", o.processed)
+                .num("nic_rx_exhausted", o.drops.nic_rx_exhausted)
+                .num("queue_full", o.drops.queue_full)
+                .num("element_dropped", o.drops.element_dropped)
+                .num("wire_overflow", o.drops.wire_overflow)
+                .num("shed", o.drops.shed)
+                .num("drained", o.drops.drained)
+                .opt_num("recovery_windows", o.recovery_windows)
+                .num("conservation_slack", o.conservation_slack)
+                .num("max_backlog", o.max_backlog)
+        })
+        .collect()
+}
+
 /// Per-scenario robustness assertions (the sweep's acceptance criteria).
 fn check(o: &ScenarioOutcome) {
     let n = o.name;
@@ -667,22 +776,14 @@ fn check(o: &ScenarioOutcome) {
 pub fn run(ctx: &RunCtx) -> Vec<ScenarioOutcome> {
     ctx.heading("Chaos — fault injection + graceful degradation");
     println!("calibrating the batch controller (shrink-batch rung)…");
-    let controller = BatchController::calibrate(FlowType::Ip, ctx.params, ctx.threads);
-
-    let mut outcomes = Vec::new();
-    for sc in &flow_scenarios(ctx.params.seed) {
-        println!("scenario {}…", sc.name);
-        outcomes.push(run_flow_scenario(ctx, sc, &controller));
-    }
-    println!("scenario queue-pressure…");
-    outcomes.push(run_pipeline_scenario(
-        ctx,
-        "queue-pressure",
-        // Clamp the 128-slot ring to a single slot: partial-burst
-        // backpressure degenerates to scalar handoffs, de-amortizing the
-        // per-burst fixed costs on both stages.
-        FaultPlan::seeded(ctx.params.seed ^ 0x5EA).with(2, 6, FaultKind::QueuePressure { cap: 1 }),
-    ));
+    let names = scenario_names();
+    println!(
+        "running {} scenarios across {} jobs: {}…",
+        names.len(),
+        ctx.jobs.min(names.len()),
+        names.join(", ")
+    );
+    let outcomes = measure_scenarios(ctx, &names);
 
     let mut table = Table::new(
         "Chaos sweep: guard response and loss accounting per fault scenario",
@@ -708,30 +809,7 @@ pub fn run(ctx: &RunCtx) -> Vec<ScenarioOutcome> {
     ctx.emit("chaos", &table);
 
     // CHAOS_results.json lands in the repository root (CI uploads it).
-    let rows: Vec<JsonRow> = outcomes
-        .iter()
-        .map(|o| {
-            JsonRow::new()
-                .str("scenario", o.name)
-                .num("windows", o.windows)
-                .str("peak_level", o.peak_level)
-                .num("reprobes", o.reprobes)
-                .num("transitions", o.transitions)
-                .num("fault_events", o.fault_events)
-                .num("offered", o.drops.offered)
-                .num("processed", o.processed)
-                .num("nic_rx_exhausted", o.drops.nic_rx_exhausted)
-                .num("queue_full", o.drops.queue_full)
-                .num("element_dropped", o.drops.element_dropped)
-                .num("wire_overflow", o.drops.wire_overflow)
-                .num("shed", o.drops.shed)
-                .num("drained", o.drops.drained)
-                .opt_num("recovery_windows", o.recovery_windows)
-                .num("conservation_slack", o.conservation_slack)
-                .num("max_backlog", o.max_backlog)
-        })
-        .collect();
-    save_results_json("CHAOS_results.json", "scenarios", &rows);
+    save_results_json("CHAOS_results.json", "scenarios", &json_rows(&outcomes));
 
     for o in &outcomes {
         check(o);

@@ -121,6 +121,7 @@ fn default_fleet() -> Vec<TenantSpec> {
 
 /// One cluster scenario: a machine-scoped fault timeline plus the fleet
 /// it strikes.
+#[derive(Debug, Clone)]
 struct ClusterScenario {
     name: &'static str,
     plan: FaultPlan,
@@ -129,8 +130,9 @@ struct ClusterScenario {
     last_event: u32,
 }
 
-/// One tenant's outcome within a scenario.
-#[derive(Debug, Clone)]
+/// One tenant's outcome within a scenario. `PartialEq` compares every
+/// field exactly (floats included) for the determinism harness.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterTenantOutcome {
     /// The tenant's flow class.
     pub flow: FlowType,
@@ -154,7 +156,7 @@ pub struct ClusterTenantOutcome {
 }
 
 /// Everything one cluster scenario produced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterOutcome {
     /// Scenario name.
     pub name: &'static str,
@@ -664,6 +666,95 @@ fn scenarios(seed: u64) -> Vec<ClusterScenario> {
     ]
 }
 
+/// Canonical scenario names, in sweep order — the vocabulary accepted by
+/// [`measure_scenarios`].
+pub fn scenario_names() -> Vec<&'static str> {
+    scenarios(0).iter().map(|s| s.name).collect()
+}
+
+/// Every scenario's fault plan under master seed `seed`, by name. Plan
+/// seeds are per-scenario mixes of the master seed, never sequential
+/// draws, so each timeline is independent of which other scenarios run.
+pub fn scenario_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    scenarios(seed).into_iter().map(|s| (s.name, s.plan)).collect()
+}
+
+/// Measure a subset of the roster (by name), sharded across `ctx.jobs`
+/// host threads, outcomes merged in canonical scenario order. Each job is
+/// plain `Send` config; the worker builds its own `Cluster` of engines
+/// from the scenario's derived seed. When `cluster-empty-plan` is
+/// selected, its controller-free twin rides along as one more parallel
+/// job and the bit-for-bit identity (FNV digest over every core's clock
+/// and retired-packet counter, plus per-tenant ledgers) is asserted here.
+pub fn measure_scenarios(ctx: &RunCtx, names: &[&str]) -> Vec<ClusterOutcome> {
+    let predictor = Predictor::profile(&PROFILE, ctx.levels.min(3), ctx.params, ctx.jobs);
+    let admission = AdmissionController::new(&predictor);
+    let slas: Vec<Sla> =
+        PROFILE.iter().map(|&f| Sla { flow: f, max_drop_pct: 40.0 }).collect();
+    let plan_ctx = ClusterPlanCtx { admission, slas };
+
+    let selected: Vec<ClusterScenario> = scenarios(ctx.params.seed)
+        .into_iter()
+        .filter(|s| names.contains(&s.name))
+        .collect();
+    let mut work: Vec<(ClusterScenario, bool)> =
+        selected.iter().cloned().map(|s| (s, true)).collect();
+    let twin_idx = selected.iter().position(|s| s.name == "cluster-empty-plan");
+    if let Some(i) = twin_idx {
+        work.push((selected[i].clone(), false));
+    }
+    let mut results = run_many(work, ctx.jobs, |(sc, controlled)| {
+        run_cluster_scenario(ctx, &sc, &plan_ctx, controlled)
+    });
+    if let Some(i) = twin_idx {
+        let twin = results.pop().expect("twin job present");
+        let outcome = &results[i];
+        // Bit-for-bit identity across N machines: same digest, same
+        // per-tenant ledgers — an idle control plane is free.
+        assert_eq!(
+            outcome.digest, twin.digest,
+            "[cluster-empty-plan] core clocks/counters diverged"
+        );
+        for (a, b) in outcome.tenants.iter().zip(twin.tenants.iter()) {
+            assert_eq!(a.processed, b.processed, "[cluster-empty-plan] {}", a.flow);
+            assert_eq!(a.drops, b.drops, "[cluster-empty-plan] {} ledger", a.flow);
+        }
+        println!("empty-plan digest {:#018x} (twin identical)", outcome.digest);
+    }
+    results
+}
+
+/// The `CLUSTER_CHAOS_results.json` records (one flat row per tenant per
+/// scenario, canonical order preserved).
+pub fn json_rows(outcomes: &[ClusterOutcome]) -> Vec<JsonRow> {
+    outcomes
+        .iter()
+        .flat_map(|o| {
+            o.tenants.iter().map(move |t| {
+                JsonRow::new()
+                    .str("scenario", o.name)
+                    .str("tenant", t.flow)
+                    .num("priority", t.priority)
+                    .num("home", t.home)
+                    .opt_num("final_machine", t.final_machine)
+                    .num("calib_pps", format!("{:.1}", t.calib_pps))
+                    .num("min_pps", format!("{:.1}", t.min_pps))
+                    .num("offered", t.drops.offered)
+                    .num("processed", t.processed)
+                    .num("drained", t.drops.drained)
+                    .num("total_dropped", t.drops.total_dropped())
+                    .num("conservation_slack", t.conservation_slack)
+                    .num("decisions", o.decisions)
+                    .num("replacements", o.replacements)
+                    .num("probes", o.probes)
+                    .num("max_staleness", o.max_staleness)
+                    .opt_num("declared_dead_at", o.declare_dead_window)
+                    .opt_num("first_replacement_at", o.first_replacement_window)
+            })
+        })
+        .collect()
+}
+
 /// Per-scenario assertions — the sweep's acceptance criteria.
 fn check(o: &ClusterOutcome) {
     let n = o.name;
@@ -793,33 +884,14 @@ fn check(o: &ClusterOutcome) {
 pub fn run(ctx: &RunCtx) -> Vec<ClusterOutcome> {
     ctx.heading("Cluster chaos — the fleet controller under machine death and lying telemetry");
     println!("profiling re-placement admission…");
-    let predictor = Predictor::profile(&PROFILE, ctx.levels.min(3), ctx.params, ctx.threads);
-    let admission = AdmissionController::new(&predictor);
-    let slas: Vec<Sla> =
-        PROFILE.iter().map(|&f| Sla { flow: f, max_drop_pct: 40.0 }).collect();
-    let plan_ctx = ClusterPlanCtx { admission, slas };
-
-    let mut outcomes = Vec::new();
-    for sc in &scenarios(ctx.params.seed) {
-        println!("scenario {}…", sc.name);
-        let outcome = run_cluster_scenario(ctx, sc, &plan_ctx, true);
-        if sc.name == "cluster-empty-plan" {
-            println!("scenario cluster-empty-plan (controller-free twin)…");
-            let twin = run_cluster_scenario(ctx, sc, &plan_ctx, false);
-            // Bit-for-bit identity across N machines: same digest, same
-            // per-tenant ledgers — an idle control plane is free.
-            assert_eq!(
-                outcome.digest, twin.digest,
-                "[cluster-empty-plan] core clocks/counters diverged"
-            );
-            for (a, b) in outcome.tenants.iter().zip(twin.tenants.iter()) {
-                assert_eq!(a.processed, b.processed, "[cluster-empty-plan] {}", a.flow);
-                assert_eq!(a.drops, b.drops, "[cluster-empty-plan] {} ledger", a.flow);
-            }
-            println!("empty-plan digest {:#018x} (twin identical)", outcome.digest);
-        }
-        outcomes.push(outcome);
-    }
+    let names = scenario_names();
+    println!(
+        "running {} scenarios (+ the controller-free twin) across {} jobs: {}…",
+        names.len(),
+        ctx.jobs.min(names.len() + 1),
+        names.join(", ")
+    );
+    let outcomes = measure_scenarios(ctx, &names);
 
     let mut table = Table::new(
         "Cluster chaos: fleet-controller response per tenant per scenario",
@@ -848,33 +920,7 @@ pub fn run(ctx: &RunCtx) -> Vec<ClusterOutcome> {
     ctx.emit("cluster_chaos", &table);
 
     // CLUSTER_CHAOS_results.json lands in the repository root (CI artifact).
-    let rows: Vec<JsonRow> = outcomes
-        .iter()
-        .flat_map(|o| {
-            o.tenants.iter().map(move |t| {
-                JsonRow::new()
-                    .str("scenario", o.name)
-                    .str("tenant", t.flow)
-                    .num("priority", t.priority)
-                    .num("home", t.home)
-                    .opt_num("final_machine", t.final_machine)
-                    .num("calib_pps", format!("{:.1}", t.calib_pps))
-                    .num("min_pps", format!("{:.1}", t.min_pps))
-                    .num("offered", t.drops.offered)
-                    .num("processed", t.processed)
-                    .num("drained", t.drops.drained)
-                    .num("total_dropped", t.drops.total_dropped())
-                    .num("conservation_slack", t.conservation_slack)
-                    .num("decisions", o.decisions)
-                    .num("replacements", o.replacements)
-                    .num("probes", o.probes)
-                    .num("max_staleness", o.max_staleness)
-                    .opt_num("declared_dead_at", o.declare_dead_window)
-                    .opt_num("first_replacement_at", o.first_replacement_window)
-            })
-        })
-        .collect();
-    save_results_json("CLUSTER_CHAOS_results.json", "tenants", &rows);
+    save_results_json("CLUSTER_CHAOS_results.json", "tenants", &json_rows(&outcomes));
 
     for o in &outcomes {
         check(o);

@@ -107,7 +107,7 @@ pub fn run(ctx: &RunCtx) -> ExtendedOutput {
 
     // 1. Extended Table 1.
     println!("[profiling: 8 solos + 8 SYN ramps of {} levels]", ctx.levels);
-    let predictor = Predictor::profile(&types, ctx.levels, ctx.params, ctx.threads);
+    let predictor = Predictor::profile(&types, ctx.levels, ctx.params, ctx.jobs);
     let profiles: Vec<SoloProfile> =
         types.iter().map(|&t| predictor.solo(t).unwrap().clone()).collect();
 
@@ -160,7 +160,7 @@ pub fn run(ctx: &RunCtx) -> ExtendedOutput {
         .iter()
         .map(|&t| (t, predictor.solo(t).unwrap().raw.clone()))
         .collect();
-    let outcomes = run_many(pairs.clone(), ctx.threads, |(t, c)| {
+    let outcomes = run_many(pairs.clone(), ctx.jobs, |(t, c)| {
         corun_against_solo(&solos[&t], t, &[c; 5], ContentionConfig::Both, params)
     });
     let errors: Vec<PredictionError> = pairs

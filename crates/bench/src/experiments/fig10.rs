@@ -90,13 +90,13 @@ pub fn run(ctx: &RunCtx) -> Fig10Output {
     let mut types: Vec<FlowType> = combos().iter().flat_map(|c| c.flows.clone()).collect();
     types.sort();
     types.dedup();
-    let solos = SoloProfile::measure_all(&types, ctx.params, ctx.threads);
+    let solos = SoloProfile::measure_all(&types, ctx.params, ctx.jobs);
     let solo_pps: BTreeMap<FlowType, f64> = solos.iter().map(|p| (p.flow, p.pps)).collect();
 
     let mut results = Vec::new();
     for combo in combos() {
         let (best, worst, all) =
-            study_measured(&combo.flows, &solo_pps, ctx.params, ctx.threads);
+            study_measured(&combo.flows, &solo_pps, ctx.params, ctx.jobs);
         println!(
             "  {}: {} placements, best {:.2}% (avg) worst {:.2}% -> benefit {:.2} pp",
             combo.label,

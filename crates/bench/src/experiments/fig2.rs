@@ -39,7 +39,7 @@ impl Fig2Output {
 
 /// Measure the 25-pair matrix (solos computed once per target).
 pub fn measure(ctx: &RunCtx) -> Fig2Output {
-    let solo_results: Vec<FlowResult> = run_many(REALISTIC.to_vec(), ctx.threads, |t| {
+    let solo_results: Vec<FlowResult> = run_many(REALISTIC.to_vec(), ctx.jobs, |t| {
         run_scenario(&solo_scenario(t, ctx.params)).flows[0].clone()
     });
     let pairs: Vec<(usize, usize)> = (0..REALISTIC.len())
@@ -47,7 +47,7 @@ pub fn measure(ctx: &RunCtx) -> Fig2Output {
         .collect();
     let solos = solo_results.clone();
     let params = ctx.params;
-    let outcomes = run_many(pairs, ctx.threads, move |(ti, ci)| {
+    let outcomes = run_many(pairs, ctx.jobs, move |(ti, ci)| {
         corun_against_solo(
             &solo_results[ti],
             REALISTIC[ti],

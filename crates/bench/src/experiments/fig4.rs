@@ -41,7 +41,7 @@ impl Fig4Output {
 /// Measure all Fig. 4 curves.
 pub fn measure(ctx: &RunCtx) -> Fig4Output {
     // Solo once per target, reused across all three configurations.
-    let solos: Vec<FlowResult> = run_many(REALISTIC.to_vec(), ctx.threads, |t| {
+    let solos: Vec<FlowResult> = run_many(REALISTIC.to_vec(), ctx.jobs, |t| {
         run_scenario(&solo_scenario(t, ctx.params)).flows[0].clone()
     });
     let mut curves = Vec::new();
@@ -57,7 +57,7 @@ pub fn measure(ctx: &RunCtx) -> Fig4Output {
                 config,
                 ctx.levels,
                 ctx.params,
-                ctx.threads,
+                ctx.jobs,
             );
             curves.push(Fig4Curve { config, target, curve });
         }

@@ -36,7 +36,7 @@ pub fn run(ctx: &RunCtx) -> Fig5Output {
     ctx.heading("Figure 5 — SYN curves vs realistic competitors (aggressiveness ≡ refs/sec)");
 
     // SYN curves in the realistic (Both) configuration.
-    let solos: Vec<FlowResult> = run_many(REALISTIC.to_vec(), ctx.threads, |t| {
+    let solos: Vec<FlowResult> = run_many(REALISTIC.to_vec(), ctx.jobs, |t| {
         run_scenario(&solo_scenario(t, ctx.params)).flows[0].clone()
     });
     let mut syn_curves = Vec::new();
@@ -47,7 +47,7 @@ pub fn run(ctx: &RunCtx) -> Fig5Output {
             ContentionConfig::Both,
             ctx.levels,
             ctx.params,
-            ctx.threads,
+            ctx.jobs,
         );
         syn_curves.push((t, curve));
     }

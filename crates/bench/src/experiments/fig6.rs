@@ -31,7 +31,7 @@ pub fn run(ctx: &RunCtx) -> Fig6Output {
     }
 
     // The workload points use *our* profiled solo hits/sec.
-    let profiles = SoloProfile::measure_all(&REALISTIC, ctx.params, ctx.threads);
+    let profiles = SoloProfile::measure_all(&REALISTIC, ctx.params, ctx.jobs);
     let points: Vec<(FlowType, f64, f64)> = profiles
         .iter()
         .map(|p| {

@@ -76,7 +76,7 @@ pub fn run(ctx: &RunCtx) -> Fig7Output {
     let params = ctx.params;
     let n_levels = ctx.levels;
     let solo_for_runs = solo.clone();
-    let outcomes = run_many(levels, ctx.threads, move |level| {
+    let outcomes = run_many(levels, ctx.jobs, move |level| {
         corun_against_solo(
             &solo_for_runs,
             FlowType::Mon,

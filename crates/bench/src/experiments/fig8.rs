@@ -52,7 +52,7 @@ pub fn run(ctx: &RunCtx) -> Fig8Output {
     ctx.heading("Figure 8 — prediction errors for 25 two-type workloads");
 
     println!("[profiling: 5 solos + 5 SYN ramps of {} levels]", ctx.levels);
-    let predictor = Predictor::profile(&REALISTIC, ctx.levels, ctx.params, ctx.threads);
+    let predictor = Predictor::profile(&REALISTIC, ctx.levels, ctx.params, ctx.jobs);
 
     // Measure the 25 pairs (reusing the predictor's solo profiles).
     let pairs: Vec<(usize, usize)> = (0..REALISTIC.len())
@@ -61,7 +61,7 @@ pub fn run(ctx: &RunCtx) -> Fig8Output {
     let params = ctx.params;
     let solos: Vec<FlowResult> =
         REALISTIC.iter().map(|&t| predictor.solo(t).unwrap().raw.clone()).collect();
-    let outcomes = run_many(pairs.clone(), ctx.threads, move |(ti, ci)| {
+    let outcomes = run_many(pairs.clone(), ctx.jobs, move |(ti, ci)| {
         corun_against_solo(
             &solos[ti],
             REALISTIC[ti],

@@ -55,7 +55,7 @@ pub fn run_with(ctx: &RunCtx, predictor: Option<&Predictor>) -> Fig9Output {
                 &[FlowType::Mon, FlowType::Vpn, FlowType::Fw, FlowType::Re],
                 ctx.levels,
                 ctx.params,
-                ctx.threads,
+                ctx.jobs,
             );
             &owned
         }

@@ -109,6 +109,7 @@ pub const INTERFERENCE_FLOOR: f64 = 0.55;
 
 /// One fleet scenario: a (possibly targeted) fault timeline plus an
 /// optional un-scripted environment change for the drift detector.
+#[derive(Debug, Clone)]
 struct FleetScenario {
     name: &'static str,
     plan: FaultPlan,
@@ -122,8 +123,9 @@ struct FleetScenario {
     last_event: u32,
 }
 
-/// One tenant's outcome within a scenario.
-#[derive(Debug, Clone)]
+/// One tenant's outcome within a scenario. `PartialEq` compares every
+/// field exactly (floats included) for the determinism harness.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TenantOutcome {
     /// The tenant's flow type.
     pub flow: FlowType,
@@ -153,7 +155,7 @@ pub struct TenantOutcome {
 }
 
 /// Everything one fleet scenario produced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetOutcome {
     /// Scenario name.
     pub name: &'static str,
@@ -699,6 +701,98 @@ fn scenarios(seed: u64) -> Vec<FleetScenario> {
     ]
 }
 
+/// Canonical scenario names, in sweep order — the vocabulary accepted by
+/// [`measure_scenarios`].
+pub fn scenario_names() -> Vec<&'static str> {
+    scenarios(0).iter().map(|s| s.name).collect()
+}
+
+/// Every scenario's fault plan under master seed `seed`, by name. Plan
+/// seeds are per-scenario mixes of the master seed, never sequential
+/// draws, so each timeline is independent of which other scenarios run.
+pub fn scenario_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    scenarios(seed).into_iter().map(|s| (s.name, s.plan)).collect()
+}
+
+/// Measure a subset of the roster (by name), sharded across `ctx.jobs`
+/// host threads, outcomes merged in canonical scenario order. Each job is
+/// plain `Send` config; the worker builds its own `Machine`/`Engine` from
+/// the scenario's derived seed. When `fleet-empty-plan` is selected, its
+/// supervisor-free twin rides along as one more parallel job and the
+/// bit-for-bit identity (core clocks, packets, ledgers) is asserted here.
+pub fn measure_scenarios(ctx: &RunCtx, names: &[&str]) -> Vec<FleetOutcome> {
+    let controllers: Vec<BatchController> = FLEET
+        .iter()
+        .map(|&f| BatchController::calibrate(f, ctx.params, ctx.jobs))
+        .collect();
+    let predictor = Predictor::profile(&FLEET, ctx.levels.min(3), ctx.params, ctx.jobs);
+    let admission = AdmissionController::new(&predictor);
+    let slas: Vec<Sla> =
+        FLEET.iter().map(|&f| Sla { flow: f, max_drop_pct: 40.0 }).collect();
+    let plan = plan_socket(&controllers, &admission, &FLEET, &slas, &[]);
+    assert!(plan.viable(), "the fleet must be admissible before supervision");
+    let plan_ctx = FleetPlanCtx { plan, admission, slas };
+
+    let selected: Vec<FleetScenario> = scenarios(ctx.params.seed)
+        .into_iter()
+        .filter(|s| names.contains(&s.name))
+        .collect();
+    let mut work: Vec<(FleetScenario, bool)> =
+        selected.iter().cloned().map(|s| (s, true)).collect();
+    let twin_idx = selected.iter().position(|s| s.name == "fleet-empty-plan");
+    if let Some(i) = twin_idx {
+        work.push((selected[i].clone(), false));
+    }
+    let mut results = run_many(work, ctx.jobs, |(sc, supervised)| {
+        run_fleet_scenario(ctx, &sc, &plan_ctx, supervised)
+    });
+    if let Some(i) = twin_idx {
+        let (twin, twin_clocks) = results.pop().expect("twin job present");
+        let (outcome, clocks) = &results[i];
+        // Bit-for-bit identity: same clocks, same packets, same ledgers —
+        // an idle control plane is free.
+        assert_eq!(clocks, &twin_clocks, "[fleet-empty-plan] core clocks diverged");
+        for (a, b) in outcome.tenants.iter().zip(twin.tenants.iter()) {
+            assert_eq!(a.processed, b.processed, "[fleet-empty-plan] {}", a.flow);
+            assert_eq!(a.drops, b.drops, "[fleet-empty-plan] {} ledger", a.flow);
+        }
+    }
+    results.into_iter().map(|(o, _)| o).collect()
+}
+
+/// The `FLEET_CHAOS_results.json` records (one flat row per tenant per
+/// scenario, canonical order preserved).
+pub fn json_rows(outcomes: &[FleetOutcome]) -> Vec<JsonRow> {
+    outcomes
+        .iter()
+        .flat_map(|o| {
+            o.tenants.iter().map(move |t| {
+                JsonRow::new()
+                    .str("scenario", o.name)
+                    .str("tenant", t.flow)
+                    .str("peak_level", t.peak_level)
+                    .str("final_level", t.final_level)
+                    .num("final_running", t.final_running)
+                    .num("trips", t.stats.trips)
+                    .num("failed_probes", t.stats.failed_probes)
+                    .num("migrations", t.stats.migrations)
+                    .num("recalibrations", t.stats.recalibrations)
+                    .num("evicted_windows", t.stats.evicted_windows)
+                    .num("guard_transitions", t.guard_transitions)
+                    .num("offered", t.drops.offered)
+                    .num("processed", t.processed)
+                    .num("drained", t.drops.drained)
+                    .num("shed", t.drops.shed)
+                    .num("element_dropped", t.drops.element_dropped)
+                    .num("wire_overflow", t.drops.wire_overflow)
+                    .num("total_dropped", t.drops.total_dropped())
+                    .opt_num("recovery_windows", t.recovery_windows)
+                    .num("conservation_slack", t.conservation_slack)
+            })
+        })
+        .collect()
+}
+
 /// Per-scenario, per-tenant assertions — the sweep's acceptance criteria.
 fn check(o: &FleetOutcome) {
     let n = o.name;
@@ -788,35 +882,14 @@ fn check(o: &FleetOutcome) {
 pub fn run(ctx: &RunCtx) -> Vec<FleetOutcome> {
     ctx.heading("Fleet chaos — the tenant supervisor under sustained faults");
     println!("planning the socket (profiles + batch calibration)…");
-    let controllers: Vec<BatchController> = FLEET
-        .iter()
-        .map(|&f| BatchController::calibrate(f, ctx.params, ctx.threads))
-        .collect();
-    let predictor = Predictor::profile(&FLEET, ctx.levels.min(3), ctx.params, ctx.threads);
-    let admission = AdmissionController::new(&predictor);
-    let slas: Vec<Sla> =
-        FLEET.iter().map(|&f| Sla { flow: f, max_drop_pct: 40.0 }).collect();
-    let plan = plan_socket(&controllers, &admission, &FLEET, &slas, &[]);
-    assert!(plan.viable(), "the fleet must be admissible before supervision");
-    let plan_ctx = FleetPlanCtx { plan, admission, slas };
-
-    let mut outcomes = Vec::new();
-    for sc in &scenarios(ctx.params.seed) {
-        println!("scenario {}…", sc.name);
-        let (outcome, clocks) = run_fleet_scenario(ctx, sc, &plan_ctx, true);
-        if sc.name == "fleet-empty-plan" {
-            println!("scenario fleet-empty-plan (supervisor-free twin)…");
-            let (twin, twin_clocks) = run_fleet_scenario(ctx, sc, &plan_ctx, false);
-            // Bit-for-bit identity: same clocks, same packets, same
-            // ledgers — an idle control plane is free.
-            assert_eq!(clocks, twin_clocks, "[fleet-empty-plan] core clocks diverged");
-            for (a, b) in outcome.tenants.iter().zip(twin.tenants.iter()) {
-                assert_eq!(a.processed, b.processed, "[fleet-empty-plan] {}", a.flow);
-                assert_eq!(a.drops, b.drops, "[fleet-empty-plan] {} ledger", a.flow);
-            }
-        }
-        outcomes.push(outcome);
-    }
+    let names = scenario_names();
+    println!(
+        "running {} scenarios (+ the supervisor-free twin) across {} jobs: {}…",
+        names.len(),
+        ctx.jobs.min(names.len() + 1),
+        names.join(", ")
+    );
+    let outcomes = measure_scenarios(ctx, &names);
 
     let mut table = Table::new(
         "Fleet chaos: supervisor response per tenant per scenario",
@@ -849,35 +922,7 @@ pub fn run(ctx: &RunCtx) -> Vec<FleetOutcome> {
     ctx.emit("fleet_chaos", &table);
 
     // FLEET_CHAOS_results.json lands in the repository root (CI artifact).
-    let rows: Vec<JsonRow> = outcomes
-        .iter()
-        .flat_map(|o| {
-            o.tenants.iter().map(move |t| {
-                JsonRow::new()
-                    .str("scenario", o.name)
-                    .str("tenant", t.flow)
-                    .str("peak_level", t.peak_level)
-                    .str("final_level", t.final_level)
-                    .num("final_running", t.final_running)
-                    .num("trips", t.stats.trips)
-                    .num("failed_probes", t.stats.failed_probes)
-                    .num("migrations", t.stats.migrations)
-                    .num("recalibrations", t.stats.recalibrations)
-                    .num("evicted_windows", t.stats.evicted_windows)
-                    .num("guard_transitions", t.guard_transitions)
-                    .num("offered", t.drops.offered)
-                    .num("processed", t.processed)
-                    .num("drained", t.drops.drained)
-                    .num("shed", t.drops.shed)
-                    .num("element_dropped", t.drops.element_dropped)
-                    .num("wire_overflow", t.drops.wire_overflow)
-                    .num("total_dropped", t.drops.total_dropped())
-                    .opt_num("recovery_windows", t.recovery_windows)
-                    .num("conservation_slack", t.conservation_slack)
-            })
-        })
-        .collect();
-    save_results_json("FLEET_CHAOS_results.json", "tenants", &rows);
+    save_results_json("FLEET_CHAOS_results.json", "tenants", &json_rows(&outcomes));
 
     for o in &outcomes {
         check(o);

@@ -91,7 +91,7 @@ pub fn run_with(ctx: &RunCtx, predictor: Option<&Predictor>) -> MixesOutput {
         Some(p) => p,
         None => {
             println!("[profiling: 8 solos + 8 SYN ramps of {} levels]", ctx.levels);
-            owned = Predictor::profile(&types, ctx.levels, ctx.params, ctx.threads);
+            owned = Predictor::profile(&types, ctx.levels, ctx.params, ctx.jobs);
             &owned
         }
     };
@@ -107,7 +107,7 @@ pub fn run_with(ctx: &RunCtx, predictor: Option<&Predictor>) -> MixesOutput {
 
     // Measure every mix (6 flows on socket 0, NUMA-local, as in §2.2).
     let params = ctx.params;
-    let results = run_many(mixes.clone(), ctx.threads, |mix| {
+    let results = run_many(mixes.clone(), ctx.jobs, |mix| {
         let scenario = Scenario {
             flows: mix
                 .iter()

@@ -182,7 +182,15 @@ pub fn run(ctx: &RunCtx) {
     };
 
     // Wall-clock points must run sequentially on an unloaded process —
-    // never through run_many — or they time each other's contention.
+    // never through run_many — or they time each other's contention. The
+    // `--jobs` flag is therefore deliberately ignored for timing; both the
+    // requested and the actually-used counts are recorded per row so the
+    // regression gate only ever compares like-for-like (timing_jobs = 1
+    // on both sides of every baseline comparison).
+    let timing_jobs = 1usize;
+    if ctx.jobs != timing_jobs {
+        println!("[--jobs {} requested; wall timing always runs {timing_jobs} job]", ctx.jobs);
+    }
     let mut points = Vec::new();
     for &flow in &WORKLOADS {
         for &batch in &BATCHES {
@@ -242,6 +250,7 @@ pub fn run(ctx: &RunCtx) {
                 "    {{\"workload\": \"{}\", \"batch\": {}, \"sim_packets\": {}, ",
                 "\"wall_secs\": {:.6}, \"pkts_per_wall_sec\": {:.1}, ",
                 "\"accesses_per_wall_sec\": {:.1}, ",
+                "\"requested_jobs\": {}, \"timing_jobs\": {}, ",
                 "\"baseline_pkts_per_wall_sec\": {}, \"speedup_vs_baseline\": {}, ",
                 "\"baseline_accesses_per_wall_sec\": {}, ",
                 "\"accesses_speedup_vs_baseline\": {}}}"
@@ -252,6 +261,8 @@ pub fn run(ctx: &RunCtx) {
             p.wall_secs,
             p.pkts_per_wall_sec,
             p.accesses_per_wall_sec,
+            ctx.jobs,
+            timing_jobs,
             base.map(|b| format!("{:.1}", b.pps)).unwrap_or_else(|| "null".into()),
             speedup.map(|s| format!("{s:.3}")).unwrap_or_else(|| "null".into()),
             base_aps.map(|a| format!("{a:.1}")).unwrap_or_else(|| "null".into()),

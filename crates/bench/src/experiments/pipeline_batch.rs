@@ -192,7 +192,7 @@ pub fn measure(ctx: &RunCtx) -> Vec<PipelineBatchPoint> {
             }
         }
     }
-    run_many(items, ctx.threads, move |(flow, placement, burst)| {
+    run_many(items, ctx.jobs, move |(flow, placement, burst)| {
         measure_point(flow, placement, burst, params)
     })
 }

@@ -63,14 +63,22 @@ impl JsonRow {
     }
 }
 
+/// Render the full `{ "<top_key>": [rows...] }` document as the exact
+/// bytes `save_results_json` writes. Public so the determinism harness
+/// can byte-compare artifacts across `--jobs` counts without touching
+/// the filesystem.
+pub fn render_document(top_key: &str, rows: &[JsonRow]) -> String {
+    let points: Vec<String> = rows.iter().map(JsonRow::render).collect();
+    format!("{{\n  \"{}\": [\n{}\n  ]\n}}\n", escape(top_key), points.join(",\n"))
+}
+
 /// Write `{ "<top_key>": [rows...] }` to `file_name` in the current
 /// directory (the repository root under `repro`), printing the same
 /// `[saved …]` / `[warn] …` lines the hand-rolled writers printed. A
 /// write failure warns and continues — the artifact is a convenience,
 /// not a gate.
 pub fn save_results_json(file_name: &str, top_key: &str, rows: &[JsonRow]) {
-    let points: Vec<String> = rows.iter().map(JsonRow::render).collect();
-    let json = format!("{{\n  \"{}\": [\n{}\n  ]\n}}\n", escape(top_key), points.join(",\n"));
+    let json = render_document(top_key, rows);
     match std::fs::File::create(file_name).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => println!("[saved {file_name}]"),
         Err(e) => eprintln!("[warn] could not write {file_name}: {e}"),
@@ -100,5 +108,176 @@ mod tests {
     fn strings_are_escaped() {
         let row = JsonRow::new().str("name", "a\"b\\c\nd");
         assert_eq!(row.render(), "    {\"name\": \"a\\\"b\\\\c\\u000ad\"}");
+    }
+
+    #[test]
+    fn numeric_formatting_is_unquoted_and_verbatim() {
+        // The builders never reformat numbers — callers pick the precision
+        // (e.g. `format!("{:.1}")`) and the writer must pass it through
+        // byte-for-byte, or the determinism gate's `diff` would flag noise.
+        let row = JsonRow::new()
+            .num("count", 0u64)
+            .num("pps", format_args!("{:.1}", 1234.5678))
+            .num("ratio", format_args!("{:.3}", 0.25))
+            .num("neg", -17i64)
+            .opt_num("missing", None::<f64>);
+        assert_eq!(
+            row.render(),
+            "    {\"count\": 0, \"pps\": 1234.6, \"ratio\": 0.250, \
+             \"neg\": -17, \"missing\": null}"
+        );
+    }
+
+    /// Minimal recursive-descent parser for the subset of JSON the writer
+    /// emits (one top-level object, one array of flat objects, string /
+    /// bare-token values). No serde in the tree, so round-trip checks
+    /// hand-roll the read side.
+    mod mini_parse {
+        pub fn parse(doc: &str) -> (String, Vec<Vec<(String, String)>>) {
+            let mut p = Parser { s: doc.as_bytes(), i: 0 };
+            p.ws();
+            p.expect(b'{');
+            let top = p.string();
+            p.ws();
+            p.expect(b':');
+            p.ws();
+            p.expect(b'[');
+            let mut rows = Vec::new();
+            p.ws();
+            while p.peek() != b']' {
+                rows.push(p.object());
+                p.ws();
+                if p.peek() == b',' {
+                    p.i += 1;
+                    p.ws();
+                }
+            }
+            p.expect(b']');
+            p.ws();
+            p.expect(b'}');
+            (top, rows)
+        }
+
+        struct Parser<'a> {
+            s: &'a [u8],
+            i: usize,
+        }
+
+        impl Parser<'_> {
+            fn peek(&self) -> u8 {
+                self.s[self.i]
+            }
+            fn ws(&mut self) {
+                while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+                    self.i += 1;
+                }
+            }
+            fn expect(&mut self, c: u8) {
+                assert_eq!(self.peek() as char, c as char, "at byte {}", self.i);
+                self.i += 1;
+            }
+            fn object(&mut self) -> Vec<(String, String)> {
+                self.expect(b'{');
+                let mut fields = Vec::new();
+                self.ws();
+                while self.peek() != b'}' {
+                    let key = self.string();
+                    self.ws();
+                    self.expect(b':');
+                    self.ws();
+                    let value = if self.peek() == b'"' {
+                        self.string()
+                    } else {
+                        self.bare_token()
+                    };
+                    fields.push((key, value));
+                    self.ws();
+                    if self.peek() == b',' {
+                        self.i += 1;
+                        self.ws();
+                    }
+                }
+                self.expect(b'}');
+                fields
+            }
+            fn string(&mut self) -> String {
+                self.ws();
+                self.expect(b'"');
+                let mut out = String::new();
+                loop {
+                    match self.peek() {
+                        b'"' => {
+                            self.i += 1;
+                            return out;
+                        }
+                        b'\\' => {
+                            self.i += 1;
+                            match self.peek() {
+                                b'"' => out.push('"'),
+                                b'\\' => out.push('\\'),
+                                b'u' => {
+                                    let hex =
+                                        std::str::from_utf8(&self.s[self.i + 1..self.i + 5])
+                                            .unwrap();
+                                    let code = u32::from_str_radix(hex, 16).unwrap();
+                                    out.push(char::from_u32(code).unwrap());
+                                    self.i += 4;
+                                }
+                                other => panic!("unsupported escape \\{}", other as char),
+                            }
+                            self.i += 1;
+                        }
+                        _ => {
+                            let rest = std::str::from_utf8(&self.s[self.i..]).unwrap();
+                            let c = rest.chars().next().unwrap();
+                            out.push(c);
+                            self.i += c.len_utf8();
+                        }
+                    }
+                }
+            }
+            fn bare_token(&mut self) -> String {
+                let start = self.i;
+                while !matches!(self.peek(), b',' | b'}' | b']') && !self.peek().is_ascii_whitespace()
+                {
+                    self.i += 1;
+                }
+                String::from_utf8(self.s[start..self.i].to_vec()).unwrap()
+            }
+        }
+    }
+
+    #[test]
+    fn rendered_document_parses_back_to_the_input_rows() {
+        let rows = vec![
+            JsonRow::new()
+                .str("scenario", "nic \"hiccup\"\n(burst)")
+                .num("windows", 28)
+                .num("drop_pct", format_args!("{:.2}", 12.3456))
+                .opt_num("recovery_window", Some(7))
+                .opt_num("gap", None::<u32>),
+            JsonRow::new().str("scenario", "back\\slash").num("ok", true),
+        ];
+        let doc = render_document("scenarios", &rows);
+        let (top, parsed) = mini_parse::parse(&doc);
+        assert_eq!(top, "scenarios");
+        assert_eq!(parsed.len(), 2);
+        // Escaped strings decode back to the original values.
+        assert_eq!(parsed[0][0], ("scenario".into(), "nic \"hiccup\"\n(burst)".into()));
+        assert_eq!(parsed[1][0], ("scenario".into(), "back\\slash".into()));
+        // Numeric and null fields survive verbatim, in insertion order.
+        assert_eq!(parsed[0][1], ("windows".into(), "28".into()));
+        assert_eq!(parsed[0][2], ("drop_pct".into(), "12.35".into()));
+        assert_eq!(parsed[0][3], ("recovery_window".into(), "7".into()));
+        assert_eq!(parsed[0][4], ("gap".into(), "null".into()));
+        assert_eq!(parsed[1][1], ("ok".into(), "true".into()));
+    }
+
+    #[test]
+    fn render_document_matches_saved_bytes_shape() {
+        // `save_results_json` must write exactly `render_document`'s bytes;
+        // the CI gate diffs these files across --jobs runs.
+        let doc = render_document("scenarios", &[JsonRow::new().str("s", "x").num("n", 1)]);
+        assert_eq!(doc, "{\n  \"scenarios\": [\n    {\"s\": \"x\", \"n\": 1}\n  ]\n}\n");
     }
 }

@@ -18,7 +18,7 @@ pub const PAPER_TABLE1: [(&str, f64, f64, f64, f64, f64, f64, f64); 5] = [
 /// Run the Table 1 reproduction; returns the measured profiles.
 pub fn run(ctx: &RunCtx) -> Vec<SoloProfile> {
     ctx.heading("Table 1 — solo-run characteristics");
-    let profiles = SoloProfile::measure_all(&REALISTIC, ctx.params, ctx.threads);
+    let profiles = SoloProfile::measure_all(&REALISTIC, ctx.params, ctx.jobs);
 
     let mut ours = Table::new(
         "Measured (this reproduction)",

@@ -22,8 +22,11 @@ use std::path::PathBuf;
 pub struct RunCtx {
     /// Measurement parameters (scale, warmup, window).
     pub params: ExpParams,
-    /// Host worker threads for independent simulation points.
-    pub threads: usize,
+    /// Host worker threads (`--jobs`) that independent simulation points
+    /// are sharded across. `1` is the exact serial path; any value yields
+    /// bit-for-bit identical results (each point builds its own engine
+    /// from its own derived seed and results merge in canonical order).
+    pub jobs: usize,
     /// Where CSVs are written.
     pub out_dir: PathBuf,
     /// SYN ramp length for sensitivity curves.
@@ -35,7 +38,7 @@ impl RunCtx {
     pub fn paper() -> Self {
         RunCtx {
             params: ExpParams::paper(),
-            threads: default_threads(),
+            jobs: default_threads(),
             out_dir: PathBuf::from("results"),
             levels: 8,
         }
@@ -46,7 +49,7 @@ impl RunCtx {
     pub fn quick() -> Self {
         RunCtx {
             params: ExpParams::quick(),
-            threads: default_threads(),
+            jobs: default_threads(),
             out_dir: PathBuf::from("results"),
             levels: 4,
         }
@@ -77,6 +80,6 @@ mod tests {
         let p = RunCtx::paper();
         assert_eq!(p.levels, 8);
         let q = RunCtx::quick();
-        assert!(q.threads >= 1);
+        assert!(q.jobs >= 1);
     }
 }

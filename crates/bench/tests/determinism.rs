@@ -1,0 +1,146 @@
+//! Determinism harness for the parallel sweep runner (PR 9).
+//!
+//! The `--jobs N` contract is *bit-for-bit*: sharding a sweep's scenario
+//! list across host threads must change nothing observable — not one
+//! counter, not one digest, not one byte of the emitted JSON — relative
+//! to the exact serial path (`--jobs 1`). These tests pin that contract
+//! for the three chaos-family sweeps (the sweeps whose scenario loops
+//! were serial before PR 9), across randomized scenario subsets, master
+//! seeds, and job counts ∈ {1, 2, 8}.
+//!
+//! Everything runs at the 0.5 ms / 1.5 ms chaos test windows; the point
+//! here is equality, not the robustness claims (those stay asserted by
+//! each sweep's own `run` test).
+
+use pp_bench::experiments::{chaos, cluster_chaos, fleet_chaos};
+use pp_bench::experiments::results_json::render_document;
+use pp_bench::RunCtx;
+use proptest::prelude::*;
+
+/// A quick-scale context pinned to the chaos test windows, with the
+/// given master seed and host job count.
+fn det_ctx(jobs: usize, seed: u64) -> RunCtx {
+    let mut ctx = RunCtx::quick();
+    ctx.params.warmup_ms = 0.5;
+    ctx.params.window_ms = 1.5;
+    ctx.params.seed = seed;
+    ctx.jobs = jobs;
+    ctx.out_dir = std::env::temp_dir();
+    ctx
+}
+
+/// Pick a non-empty subset of `names` from a bitmask, capped at `cap`
+/// entries to bound simulation cost. Canonical order is preserved —
+/// subsets are about *which* scenarios run, never about reordering.
+fn subset_from_mask<'a>(names: &[&'a str], mask: u64, cap: usize) -> Vec<&'a str> {
+    let picked: Vec<&str> = names
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask >> (i % 64) & 1 == 1)
+        .map(|(_, n)| *n)
+        .take(cap)
+        .collect();
+    if picked.is_empty() {
+        vec![names[mask as usize % names.len()]]
+    } else {
+        picked
+    }
+}
+
+/// The full chaos roster, serial vs. jobs ∈ {2, 8}: merged outcomes and
+/// the emitted `CHAOS_results.json` document must be byte-identical.
+#[test]
+fn chaos_full_roster_is_bitwise_identical_at_jobs_2_and_8() {
+    let names = chaos::scenario_names();
+    let serial = chaos::measure_scenarios(&det_ctx(1, 42), &names);
+    let serial_doc = render_document("scenarios", &chaos::json_rows(&serial));
+    for jobs in [2usize, 8] {
+        let parallel = chaos::measure_scenarios(&det_ctx(jobs, 42), &names);
+        assert_eq!(serial, parallel, "outcomes diverged at --jobs {jobs}");
+        let doc = render_document("scenarios", &chaos::json_rows(&parallel));
+        assert_eq!(serial_doc, doc, "JSON bytes diverged at --jobs {jobs}");
+    }
+}
+
+/// Subset runs return exactly the full roster's entries for those
+/// scenarios: per-scenario seed derivation means a scenario's result
+/// cannot depend on which other scenarios share the sweep.
+#[test]
+fn chaos_subset_results_equal_full_roster_entries() {
+    let names = chaos::scenario_names();
+    let full = chaos::measure_scenarios(&det_ctx(1, 42), &names);
+    let subset = ["churn", "queue-pressure", "empty-plan"];
+    let picked = chaos::measure_scenarios(&det_ctx(8, 42), &subset);
+    assert_eq!(picked.len(), subset.len());
+    for o in &picked {
+        let reference = full
+            .iter()
+            .find(|f| f.name == o.name)
+            .expect("subset scenario missing from full roster");
+        assert_eq!(reference, o, "[{}] subset result != full-roster result", o.name);
+    }
+}
+
+proptest! {
+    // Each case runs a scenario subset twice (serial + sharded), so the
+    // case count stays small; the subset, master seed, and job count all
+    // vary per case.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Randomized subsets × seeds × jobs ∈ {2, 8}: sharded outcomes and
+    /// JSON bytes equal the exact serial path.
+    #[test]
+    fn chaos_random_subsets_match_serial(mask in any::<u64>(), seed in any::<u64>(), j8 in any::<bool>()) {
+        let names = chaos::scenario_names();
+        let subset = subset_from_mask(&names, mask, 3);
+        let jobs = if j8 { 8 } else { 2 };
+        let serial = chaos::measure_scenarios(&det_ctx(1, seed), &subset);
+        let parallel = chaos::measure_scenarios(&det_ctx(jobs, seed), &subset);
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(
+            render_document("scenarios", &chaos::json_rows(&serial)),
+            render_document("scenarios", &chaos::json_rows(&parallel))
+        );
+    }
+}
+
+/// The fleet sweep (tenant supervisor) sharded across 4 jobs vs. serial,
+/// on a subset that includes the twin-bearing `fleet-empty-plan`
+/// scenario — so the supervisor-free twin identity is also re-asserted
+/// under sharding (it runs inside `measure_scenarios`).
+#[test]
+fn fleet_sweep_is_bitwise_identical_across_jobs() {
+    let subset = ["sick-core", "fleet-empty-plan"];
+    let serial = fleet_chaos::measure_scenarios(&det_ctx(1, 42), &subset);
+    let parallel = fleet_chaos::measure_scenarios(&det_ctx(4, 42), &subset);
+    assert_eq!(serial, parallel, "fleet outcomes diverged across jobs");
+    assert_eq!(
+        render_document("scenarios", &fleet_chaos::json_rows(&serial)),
+        render_document("scenarios", &fleet_chaos::json_rows(&parallel)),
+        "FLEET_CHAOS_results.json bytes diverged across jobs"
+    );
+}
+
+/// The cluster sweep sharded across 4 jobs vs. serial: per-scenario FNV
+/// digests (every core's clock and retired-packet counter across every
+/// machine) must match bit-for-bit, as must the merged outcomes and the
+/// JSON document.
+#[test]
+fn cluster_sweep_digests_are_bitwise_identical_across_jobs() {
+    let subset = ["machine-crash-restart", "cluster-empty-plan"];
+    let serial = cluster_chaos::measure_scenarios(&det_ctx(1, 42), &subset);
+    let parallel = cluster_chaos::measure_scenarios(&det_ctx(4, 42), &subset);
+    for (s, p) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(
+            s.digest, p.digest,
+            "[{}] digest {:#018x} != {:#018x} across jobs",
+            s.name, s.digest, p.digest
+        );
+    }
+    assert_eq!(serial, parallel, "cluster outcomes diverged across jobs");
+    assert_eq!(
+        render_document("scenarios", &cluster_chaos::json_rows(&serial)),
+        render_document("scenarios", &cluster_chaos::json_rows(&parallel)),
+        "CLUSTER_CHAOS_results.json bytes diverged across jobs"
+    );
+}

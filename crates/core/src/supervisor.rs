@@ -168,7 +168,7 @@ impl Default for SupervisorConfig {
 
 /// Lifetime counters for one tenant (reporting; the fleet-chaos sweep
 /// asserts bounds on these).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TenantStats {
     /// Times the breaker tripped open.
     pub trips: u32,

@@ -24,6 +24,10 @@
 //!   name-based [`CoreCounters::push_tag`] remains as the slow
 //!   compatibility path. Reported tag *order* is still per-core first-use
 //!   order, so measurement output does not depend on interning order.
+//!   Since PR 9 the registry is additionally *pre-registered* from the
+//!   canonical `KNOWN_TAGS` list, so a known tag's ID is a process-wide
+//!   constant even when parallel sweep workers build engines (and intern
+//!   concurrently) in scheduler-dependent order.
 //! * **The pending accumulator.** [`CoreCounters::bump`] no longer writes
 //!   the running total *and* the innermost tag's bundle on every event; it
 //!   accumulates into a single hot `pending` bundle that is flushed to
@@ -35,10 +39,60 @@
 use crate::types::Cycles;
 use std::sync::{Mutex, OnceLock};
 
-/// The global tag-name registry behind [`TagId`]. Tag sets are tiny (a few
-/// dozen distinct names per process) and interning happens at construction
-/// time, so a mutex-guarded linear scan is plenty.
+/// Every tag name the workspace interns at construction time, in canonical
+/// order. The registry is seeded with this list before the first lookup, so
+/// a known tag's `TagId` is its position here — a process-wide constant —
+/// no matter which thread interns it first. Without pre-registration,
+/// first-come ID assignment made the IDs an artifact of scheduling when
+/// parallel sweep workers built their engines concurrently. (Reported
+/// counter output was already ID-independent — per-core tag tables key by
+/// name in first-use order — but stable IDs make that a non-event instead
+/// of a rule to remember.) Tags not on this list still intern fine; their
+/// IDs are assigned under the registry lock in first-come order.
+const KNOWN_TAGS: &[&str] = &[
+    // Substrate (pp-sim): NIC descriptor rings and buffer pool.
+    "rx_desc",
+    "tx_desc",
+    "skb_alloc",
+    "skb_recycle",
+    // Datapath framework (pp-click): per-turn overhead + cross-core ring.
+    "framework",
+    "handoff",
+    // Element graph internals.
+    "emit",
+    "scatter",
+    "dropper",
+    "sink",
+    // Processing elements, `Element::tag()` order of appearance.
+    "check_ip_header",
+    "dec_ip_ttl",
+    "radix_ip_lookup",
+    "to_device",
+    "discard",
+    "counter",
+    "classifier",
+    "classify_tuples",
+    "flow_statistics",
+    "firewall_filter",
+    "redundancy_elim",
+    "nat_translate",
+    "dpi_scan",
+    "vpn_encrypt",
+    "syn",
+    "control",
+    "latent_aggressor",
+];
+
+/// The global tag-name registry behind [`TagId`], seeded with
+/// [`KNOWN_TAGS`]. Tag sets are tiny (a few dozen distinct names per
+/// process) and interning happens at construction time, so a mutex-guarded
+/// linear scan is plenty.
 static TAG_REGISTRY: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+
+/// The registry, initialized on first touch with the canonical tag list.
+fn tag_registry() -> &'static Mutex<Vec<&'static str>> {
+    TAG_REGISTRY.get_or_init(|| Mutex::new(KNOWN_TAGS.to_vec()))
+}
 
 /// A precomputed handle for a function-tag name, resolved once (at element
 /// construction) and then used for O(1) scope entry on the hot path. See
@@ -51,8 +105,7 @@ impl TagId {
     /// intended to be called once per tag at construction time, not on the
     /// per-access hot path.
     pub fn intern(name: &'static str) -> TagId {
-        let reg = TAG_REGISTRY.get_or_init(|| Mutex::new(Vec::new()));
-        let mut names = reg.lock().expect("tag registry poisoned");
+        let mut names = tag_registry().lock().expect("tag registry poisoned");
         if let Some(i) =
             names.iter().position(|&n| std::ptr::eq(n, name) || n == name)
         {
@@ -65,11 +118,7 @@ impl TagId {
 
     /// The interned name.
     pub fn name(self) -> &'static str {
-        TAG_REGISTRY
-            .get()
-            .expect("TagId exists, so the registry does")
-            .lock()
-            .expect("tag registry poisoned")[self.0 as usize]
+        tag_registry().lock().expect("tag registry poisoned")[self.0 as usize]
     }
 
     /// Index usable for table addressing.
@@ -512,5 +561,76 @@ mod tests {
     #[test]
     fn cpi_none_without_instructions() {
         assert!(Counts::default().cpi().is_none());
+    }
+
+    #[test]
+    fn known_tag_ids_are_positional_constants() {
+        for (i, &name) in KNOWN_TAGS.iter().enumerate() {
+            assert_eq!(TagId::intern(name).index(), i, "{name} must sit at its slot");
+            assert_eq!(TagId::intern(name).name(), name);
+        }
+    }
+
+    #[test]
+    fn concurrent_first_intern_is_order_independent() {
+        // Eight threads intern the full tag list, each walking a different
+        // rotation, racing for the registry's first touch. Every thread
+        // must resolve every known name to its canonical (positional)
+        // handle — pre-registration makes the winner of the race
+        // irrelevant.
+        let per_thread: Vec<Vec<(usize, TagId)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|t: usize| {
+                    s.spawn(move || {
+                        (0..KNOWN_TAGS.len())
+                            .map(|i| {
+                                let k = (i + t * 3) % KNOWN_TAGS.len();
+                                (k, TagId::intern(KNOWN_TAGS[k]))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("intern thread")).collect()
+        });
+        for ids in &per_thread {
+            for &(k, id) in ids {
+                assert_eq!(id.index(), k, "{} raced to a non-canonical ID", KNOWN_TAGS[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn counter_reports_are_independent_of_intern_and_use_order() {
+        // Two cores record the same per-tag events but enter the scopes in
+        // opposite first-use order; name-keyed reads must agree exactly,
+        // whatever the local table order ended up being.
+        let lookup = TagId::intern("radix_ip_lookup");
+        let stats = TagId::intern("flow_statistics");
+        let record = |cc: &mut CoreCounters, first: TagId, second: TagId| {
+            for &(tag, refs) in &[(first, 0u64), (second, 0)] {
+                cc.push_tag_id(tag);
+                cc.bump(|c| c.l3_refs += refs);
+                cc.pop_tag();
+            }
+            for _ in 0..3 {
+                cc.push_tag_id(lookup);
+                cc.bump(|c| c.l3_refs += 7);
+                cc.pop_tag();
+                cc.push_tag_id(stats);
+                cc.bump(|c| c.l3_refs += 2);
+                cc.pop_tag();
+            }
+        };
+        let mut a = CoreCounters::new();
+        let mut b = CoreCounters::new();
+        record(&mut a, lookup, stats);
+        record(&mut b, stats, lookup);
+        assert_eq!(a.tag("radix_ip_lookup"), b.tag("radix_ip_lookup"));
+        assert_eq!(a.tag("flow_statistics"), b.tag("flow_statistics"));
+        assert_eq!(a.total(), b.total());
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_eq!(sa.tag("radix_ip_lookup"), sb.tag("radix_ip_lookup"));
+        assert_eq!(sa.tag("flow_statistics"), sb.tag("flow_statistics"));
     }
 }
