@@ -24,6 +24,10 @@
 //!   adaptive   extras   — adaptive batch control: latency-budgeted batch
 //!                         choice (model-driven, measurement-verified) +
 //!                         predictor re-validation at batch 64
+//!   tables     extras   — internet-scale lookup structures (binary radix
+//!                         vs multibit vs DIR-24-8) in the DRAM-resident
+//!                         regime: F/b + p re-fit, sensitivity curves,
+//!                         held-out predictor check (TABLES_results.json)
 //!   perf       extras   — simulator self-benchmark (wall-clock, BENCH_sim.json)
 //!   chaos      extras   — fault injection + graceful degradation: seeded
 //!                         disturbance timelines vs the runtime guard's
@@ -58,7 +62,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|pipeline|pipeline-batch|throttle|ablate|extended|cat|mixes|batch|adaptive|perf|chaos|fleet-chaos|cluster-chaos|all> \
+        "usage: repro <table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|pipeline|pipeline-batch|throttle|ablate|extended|cat|mixes|batch|adaptive|tables|perf|chaos|fleet-chaos|cluster-chaos|all> \
          [--quick] [--packets N] [--jobs N] [--levels N] [--out DIR] [--seed N]"
     );
     std::process::exit(2);
@@ -193,6 +197,9 @@ fn main() {
         "adaptive" => {
             experiments::adaptive::run(&ctx);
         }
+        "tables" => {
+            experiments::tables::run(&ctx);
+        }
         "perf" => {
             experiments::perf::run(&ctx);
         }
@@ -224,6 +231,7 @@ fn main() {
             experiments::partition::run(&ctx);
             experiments::batch::run(&ctx);
             experiments::adaptive::run(&ctx);
+            experiments::tables::run(&ctx);
             experiments::chaos::run(&ctx);
             experiments::fleet_chaos::run(&ctx);
             experiments::cluster_chaos::run(&ctx);

@@ -25,4 +25,5 @@ pub mod perf;
 pub mod pipeline;
 pub mod pipeline_batch;
 pub mod table1;
+pub mod tables;
 pub mod throttle;

@@ -47,6 +47,9 @@ pub const WORKLOADS: [FlowType; 5] =
 /// Window repeats per point (best-of).
 const REPS: usize = 3;
 
+/// Window repeats per arm of the pre-touch A/B (best-of, interleaved).
+const AB_REPS: usize = 5;
+
 /// One measured point of the self-benchmark.
 #[derive(Debug, Clone)]
 pub struct PerfPoint {
@@ -109,6 +112,62 @@ pub fn measure_point(flow: FlowType, batch: usize, params: ExpParams) -> PerfPoi
         }
     }
     best.expect("REPS >= 1")
+}
+
+/// A/B the host pre-touch lever (`pp_net::hostopt`) on one workload:
+/// same engine, same simulated stream, windows timed with the lever
+/// alternating on/off (on first) so host-clock drift hits both arms
+/// equally. Returns `(best_on, best_off)`. The lever is host-only and
+/// charge-free, so the simulated packet counts per window are identical
+/// across arms — only the wall clock differs.
+pub fn measure_pretouch_ab(
+    flow: FlowType,
+    batch: usize,
+    params: ExpParams,
+) -> (PerfPoint, PerfPoint) {
+    let cfg = MachineConfig::westmere();
+    let mut machine = Machine::new(cfg);
+    let mut spec = flow.spec(params.scale, params.seed);
+    spec.structure_seed = flow.structure_seed(params.seed);
+    spec.batch_size = batch;
+    let built = build_flow(&mut machine, MemDomain(0), &spec);
+    let mut engine = Engine::new(machine);
+    engine.set_task(CoreId(0), Box::new(built.task));
+    let warmup = params.warmup_cycles(engine.machine.config());
+    let window = params.window_cycles(engine.machine.config());
+    engine.run_until(warmup);
+
+    let prev = pp_net::hostopt::host_pretouch();
+    let mut best: [Option<PerfPoint>; 2] = [None, None];
+    let mut t_end = warmup;
+    for rep in 0..2 * AB_REPS {
+        let arm_on = rep % 2 == 0;
+        pp_net::hostopt::set_host_pretouch(arm_on);
+        let before = engine.machine.core(CoreId(0)).counters.snapshot().total;
+        let t0 = Instant::now();
+        t_end += window;
+        engine.run_until(t_end);
+        let wall = t0.elapsed().as_secs_f64();
+        let after = engine.machine.core(CoreId(0)).counters.snapshot().total;
+        let sim_packets = after.packets - before.packets;
+        let sim_accesses = after.l1_refs - before.l1_refs;
+        let point = PerfPoint {
+            flow,
+            batch,
+            sim_packets,
+            sim_accesses,
+            wall_secs: wall,
+            pkts_per_wall_sec: sim_packets as f64 / wall,
+            accesses_per_wall_sec: sim_accesses as f64 / wall,
+        };
+        let slot = &mut best[if arm_on { 0 } else { 1 }];
+        if slot.as_ref().is_none_or(|b| point.pkts_per_wall_sec > b.pkts_per_wall_sec) {
+            *slot = Some(point);
+        }
+    }
+    pp_net::hostopt::set_host_pretouch(prev);
+    let [on, off] = best;
+    (on.expect("AB_REPS >= 1"), off.expect("AB_REPS >= 1"))
 }
 
 /// Scale key used in the baseline file and `BENCH_sim.json`.
@@ -282,6 +341,41 @@ pub fn run(ctx: &RunCtx) {
     {
         Ok(()) => println!("[saved BENCH_sim.json]"),
         Err(e) => eprintln!("[warn] could not write BENCH_sim.json: {e}"),
+    }
+
+    // Pre-touch lever A/B (PR 10): the batched walks host-pre-touch each
+    // lane's dependent line (software-prefetch analogue; charge-free).
+    // Worth keeping only if it wins wall-clock, so measure it on the
+    // batched lookup-heavy point — IP at batch 64 drives the binary-radix
+    // batched walk — with interleaved windows on one engine. On a 1-CPU
+    // container single-digit-percent deltas are noise; call it a win only
+    // beyond 3%.
+    let (on, off) = measure_pretouch_ab(FlowType::Ip, 64, params);
+    let ratio = on.pkts_per_wall_sec / off.pkts_per_wall_sec;
+    let mut ab = Table::new(
+        "Host pre-touch lever A/B (IP @ batch 64; interleaved windows, best of 5 per arm)",
+        &["lever", "sim pkts", "wall ms", "kpps (wall)", "vs off"],
+    );
+    for (label, p, r) in [("pre-touch on", &on, Some(ratio)), ("pre-touch off", &off, None)] {
+        ab.row(vec![
+            label.to_string(),
+            p.sim_packets.to_string(),
+            fmt_f(p.wall_secs * 1e3, 1),
+            fmt_f(p.pkts_per_wall_sec / 1e3, 1),
+            r.map(|r| fmt_f(r, 3)).unwrap_or_else(|| "1.000".into()),
+        ]);
+    }
+    ctx.emit("perf_pretouch", &ab);
+    if ratio >= 1.03 {
+        println!(
+            "[pre-touch verdict: WIN ({ratio:.3}x) — enable for real runs with \
+             PP_HOST_PRETOUCH=1; simulated results are identical either way]"
+        );
+    } else {
+        println!(
+            "[pre-touch verdict: NO WIN ({ratio:.3}x) — lever stays default-off \
+             (charge-free; simulated results identical either way)]"
+        );
     }
 
     if !failures.is_empty() {

@@ -12,7 +12,7 @@
 //! here is equality, not the robustness claims (those stay asserted by
 //! each sweep's own `run` test).
 
-use pp_bench::experiments::{chaos, cluster_chaos, fleet_chaos};
+use pp_bench::experiments::{chaos, cluster_chaos, fleet_chaos, tables};
 use pp_bench::experiments::results_json::render_document;
 use pp_bench::RunCtx;
 use proptest::prelude::*;
@@ -118,6 +118,27 @@ fn fleet_sweep_is_bitwise_identical_across_jobs() {
         render_document("scenarios", &fleet_chaos::json_rows(&serial)),
         render_document("scenarios", &fleet_chaos::json_rows(&parallel)),
         "FLEET_CHAOS_results.json bytes diverged across jobs"
+    );
+}
+
+/// The tables sweep (PR 10) sharded across 4 jobs vs. serial: grid
+/// points, model fits, predictor rows, and the `TABLES_results.json`
+/// bytes must all match the exact serial path. Tiny table sizes — the
+/// regime is irrelevant here, only shard-order independence.
+#[test]
+fn tables_sweep_is_bitwise_identical_across_jobs() {
+    let sizes = [1_000usize, 4_000];
+    let mut serial_ctx = det_ctx(1, 42);
+    serial_ctx.levels = 2;
+    let mut parallel_ctx = det_ctx(4, 42);
+    parallel_ctx.levels = 2;
+    let serial = tables::measure_all_sized(&serial_ctx, sizes);
+    let parallel = tables::measure_all_sized(&parallel_ctx, sizes);
+    assert_eq!(serial, parallel, "tables outcomes diverged across jobs");
+    assert_eq!(
+        render_document("rows", &tables::json_rows(&serial)),
+        render_document("rows", &tables::json_rows(&parallel)),
+        "TABLES_results.json bytes diverged across jobs"
     );
 }
 

@@ -23,6 +23,7 @@ use crate::element::Element;
 use crate::elements::basic::{CheckIpHeader, Counter, DecIpTtl, Discard, ToDevice};
 use crate::elements::control::{Control, ControlHandle};
 use crate::elements::firewall::Firewall;
+use crate::elements::lpm::Dir248IpLookup;
 use crate::elements::netflow::NetFlow;
 use crate::elements::radix::{MultibitIpLookup, RadixIpLookup};
 use crate::elements::re::{ReConfig, RedundancyElim};
@@ -439,7 +440,7 @@ fn construct(
         }
         "Discard" => Box::new(Discard::default()),
         "Counter" => Box::new(Counter::default()),
-        "RadixIPLookup" | "MultibitIPLookup" => {
+        "RadixIPLookup" | "MultibitIPLookup" | "Dir248IPLookup" => {
             let n = arg(a, "PREFIXES").unwrap_or(128_000);
             if n <= 0 {
                 return Err(ConfigError::BadArgument {
@@ -449,10 +450,10 @@ fn construct(
             }
             let prefixes = generate_bgp_table(n as usize, seed ^ 0x1111);
             let alloc = ctx.machine.allocator(ctx.domain);
-            if decl.class == "RadixIPLookup" {
-                Box::new(RadixIpLookup::new(alloc, &prefixes, cost))
-            } else {
-                Box::new(MultibitIpLookup::new(alloc, &prefixes, cost))
+            match decl.class.as_str() {
+                "RadixIPLookup" => Box::new(RadixIpLookup::new(alloc, &prefixes, cost)),
+                "MultibitIPLookup" => Box::new(MultibitIpLookup::new(alloc, &prefixes, cost)),
+                _ => Box::new(Dir248IpLookup::new(alloc, &prefixes, cost)),
             }
         }
         "NetFlow" => {
@@ -464,7 +465,13 @@ fn construct(
                 });
             }
             let alloc = ctx.machine.allocator(ctx.domain);
-            let mut nf = NetFlow::new(alloc, log2 as u32, cost);
+            // BUCKETED 1 selects the PR 10 cache-conscious layout at the
+            // same slot capacity (CAPACITY_LOG2 − 3 buckets of 8 slots).
+            let mut nf = if arg(a, "BUCKETED").unwrap_or(0) != 0 {
+                NetFlow::new_bucketed(alloc, (log2 as u32).saturating_sub(3), cost)
+            } else {
+                NetFlow::new(alloc, log2 as u32, cost)
+            };
             nf.bidirectional = arg(a, "BIDIRECTIONAL").unwrap_or(1) != 0;
             Box::new(nf)
         }
@@ -551,7 +558,11 @@ fn construct(
                 cfg.log2_bindings = l2 as u32;
             }
             let alloc = ctx.machine.allocator(ctx.domain);
-            Box::new(crate::elements::nat::Nat::new(alloc, cfg, cost))
+            if arg(a, "BUCKETED").unwrap_or(0) != 0 {
+                Box::new(crate::elements::nat::Nat::new_bucketed(alloc, cfg, cost))
+            } else {
+                Box::new(crate::elements::nat::Nat::new(alloc, cfg, cost))
+            }
         }
         "TupleSpaceClassifier" => {
             let n = arg(a, "RULES").unwrap_or(16_000);
@@ -721,6 +732,39 @@ mod tests {
         let task = crate::flow::FlowTask::new(
             "config-MON",
             TrafficGen::new(TrafficSpec::flow_population(64, 10_000, 3)),
+            nic,
+            built.graph,
+            CostModel::default(),
+        );
+        let mut e = Engine::new(m);
+        e.set_task(CoreId(0), Box::new(task));
+        let meas = e.measure(1_000_000, 5_600_000);
+        assert!(meas.core(CoreId(0)).unwrap().metrics.pps > 50_000.0);
+    }
+
+    #[test]
+    fn bucketed_variants_build_and_forward() {
+        let cfg = r#"
+            chk :: CheckIPHeader;
+            nf  :: NetFlow(CAPACITY_LOG2 14, BUCKETED 1);
+            nat :: NAT(BUCKETED 1);
+            out :: ToDevice;
+            chk -> nf -> nat -> out;
+        "#;
+        let (mut m, nic) = ctx_parts();
+        let built = {
+            let mut ctx = BuildCtx {
+                machine: &mut m,
+                domain: MemDomain(0),
+                nic: nic.clone(),
+                cost: CostModel::default(),
+                seed: 11,
+            };
+            build_config(cfg, &mut ctx).unwrap()
+        };
+        let task = crate::flow::FlowTask::new(
+            "config-bucketed",
+            TrafficGen::new(TrafficSpec::flow_population(64, 1_000, 3)),
             nic,
             built.graph,
             CostModel::default(),

@@ -1,0 +1,631 @@
+//! DIR-24-8 compressed longest-prefix match — the Internet-scale lookup
+//! structure (Gupta/Lin/McKeown's DIR-24-8-BASIC, the classic "compressed
+//! LPM" fix that *Data Path Processing in Fast Programmable Routers*
+//! motivates).
+//!
+//! The paper's radix trie walks 12–20 *dependent* reads per lookup; at
+//! full-BGP scale (~1M prefixes) those reads spread over tens of megabytes
+//! and every one of them is a potential DRAM round trip. DIR-24-8 trades
+//! memory for depth: a 16M-entry direct-index array answers any prefix of
+//! length ≤ 24 in **one** read, and the rare destinations under a /24 that
+//! contains longer prefixes take exactly one more read into that /24's
+//! 256-entry second-stage block. The structure is 64 MB+ and deliberately
+//! DRAM-resident — the table itself becomes the dominant memory traffic,
+//! which is the regime `repro tables` measures.
+//!
+//! Spill blocks are **per-/24** because that is the unit the first stage
+//! indexes: marking a first-stage slot as spilled redirects all 256 of its
+//! host addresses into one private block, so the block can be fully
+//! leaf-pushed at build time (initialized with the /24's inherited best
+//! match, then overwritten by each longer prefix in ascending-length
+//! order) and a lookup never needs to consult both stages' values.
+//!
+//! Route-for-route equivalence with [`BinaryRadixTrie`] (the executable
+//! spec) is pinned by the tests here and the proptests in
+//! `crates/bench/tests/tables_equiv.rs`.
+//!
+//! [`BinaryRadixTrie`]: crate::elements::radix::BinaryRadixTrie
+
+use crate::cost::CostModel;
+use crate::element::{Action, Element, BATCH_MLP};
+use crate::elements::radix::push_covering_lines;
+use pp_net::gen::prefixes::PrefixEntry;
+use pp_net::packet::Packet;
+use pp_sim::arena::{DomainAllocator, SimVec};
+use pp_sim::ctx::ExecCtx;
+
+/// First-stage index width: the top 24 bits of the destination.
+const STAGE1_BITS: u32 = 24;
+/// First-stage entries (16M).
+const STAGE1_ENTRIES: usize = 1 << STAGE1_BITS;
+/// Entries per second-stage block (one per /24, covering its low 8 bits).
+const BLOCK: usize = 256;
+
+/// Packed table entry.
+///
+/// * `0` — empty (no matching prefix).
+/// * bit 31 set — first stage only: spilled /24; low 24 bits index a
+///   second-stage block.
+/// * bit 30 set — leaf: bits 29..24 = prefix length, bits 23..0 = next hop
+///   (the same packing as the radix tries, so hop values are interchangeable
+///   across all three structures).
+const SPILL: u32 = 1 << 31;
+const LEAF: u32 = 1 << 30;
+
+#[inline]
+fn leaf(len: u8, hop: u32) -> u32 {
+    debug_assert!(hop < (1 << 24), "next hop must fit 24 bits");
+    LEAF | ((len as u32) << 24) | (hop & 0x00FF_FFFF)
+}
+
+#[inline]
+fn decode(e: u32) -> Option<u32> {
+    if e & LEAF != 0 {
+        Some(e & 0x00FF_FFFF)
+    } else {
+        None
+    }
+}
+
+/// The DIR-24-8 table: a flat 16M-entry first stage plus per-/24 spill
+/// blocks, both allocated into simulated memory so every lookup's reads are
+/// charged like any other structure walk.
+pub struct Dir248Table {
+    /// One entry per /24 (64 MB simulated — deliberately DRAM-resident).
+    stage1: SimVec<u32>,
+    /// Concatenated 256-entry spill blocks for /24s containing longer
+    /// prefixes.
+    stage2: SimVec<u32>,
+    n_prefixes: usize,
+    n_blocks: usize,
+}
+
+/// Reusable per-batch walk state for
+/// [`Dir248Table::lookup_batch_into`] (host-side only).
+#[derive(Debug, Default)]
+pub struct Dir248Scratch {
+    addrs: Vec<u64>,
+    entries: Vec<u32>,
+    /// Spilled lanes as `(second-stage index, lane)`, sorted by index so
+    /// the second gather visits blocks in address order.
+    spill: Vec<(usize, usize)>,
+}
+
+impl Dir248Table {
+    /// Build from a prefix table in `alloc`'s domain.
+    ///
+    /// Two leaf-pushing phases, each in ascending prefix-length order
+    /// (stable, so a duplicated `(addr, len)` resolves to the later table
+    /// entry — the same tie-break as both radix tries): first every
+    /// prefix of length ≤ 24 expands over its covered first-stage range,
+    /// then every longer prefix spills its /24 into a block initialized
+    /// from the finished first stage and overwrites its covered slots.
+    pub fn build(alloc: &mut DomainAllocator, prefixes: &[PrefixEntry]) -> Self {
+        let mut stage1 = vec![0u32; STAGE1_ENTRIES];
+        let mut short: Vec<&PrefixEntry> = prefixes.iter().filter(|p| p.len <= 24).collect();
+        short.sort_by_key(|p| p.len);
+        for p in short {
+            let start = (p.addr >> 8) as usize;
+            let count = 1usize << (24 - p.len);
+            for e in &mut stage1[start..start + count] {
+                *e = leaf(p.len, p.next_hop);
+            }
+        }
+        let mut stage2: Vec<u32> = Vec::new();
+        let mut long: Vec<&PrefixEntry> = prefixes.iter().filter(|p| p.len > 24).collect();
+        long.sort_by_key(|p| p.len);
+        for p in long {
+            assert!(p.len <= 32);
+            let s1 = (p.addr >> 8) as usize;
+            let block = if stage1[s1] & SPILL != 0 {
+                (stage1[s1] & !SPILL) as usize
+            } else {
+                let b = stage2.len() / BLOCK;
+                stage2.resize(stage2.len() + BLOCK, stage1[s1]);
+                stage1[s1] = SPILL | b as u32;
+                b
+            };
+            let start = block * BLOCK + (p.addr & 0xFF) as usize;
+            let count = 1usize << (32 - p.len);
+            for e in &mut stage2[start..start + count] {
+                *e = leaf(p.len, p.next_hop);
+            }
+        }
+        let n_blocks = stage2.len() / BLOCK;
+        Dir248Table {
+            stage1: SimVec::from_vec(alloc, stage1),
+            stage2: SimVec::from_vec(alloc, stage2),
+            n_prefixes: prefixes.len(),
+            n_blocks,
+        }
+    }
+
+    /// Number of prefixes inserted.
+    pub fn prefix_count(&self) -> usize {
+        self.n_prefixes
+    }
+
+    /// Number of second-stage spill blocks (= /24s containing a /25–/32).
+    pub fn block_count(&self) -> usize {
+        self.n_blocks
+    }
+
+    /// Total simulated footprint in bytes (first stage + spill blocks).
+    pub fn footprint(&self) -> u64 {
+        self.stage1.footprint() + self.stage2.footprint()
+    }
+
+    /// Longest-prefix match with simulated charging: one direct-indexed
+    /// read, plus one dependent block read when the /24 is spilled.
+    /// Returns `(next_hop, reads)` — `reads` ∈ {1, 2}.
+    pub fn lookup(&self, ctx: &mut ExecCtx<'_>, dst: u32) -> (Option<u32>, u32) {
+        let e = self.stage1.read(ctx, (dst >> 8) as usize);
+        if e & SPILL != 0 {
+            let idx = ((e & !SPILL) as usize) * BLOCK + (dst & 0xFF) as usize;
+            (decode(self.stage2.read(ctx, idx)), 2)
+        } else {
+            (decode(e), 1)
+        }
+    }
+
+    /// Host-only lookup (no simulated cost) — the test-oracle interface.
+    pub fn lookup_host(&self, dst: u32) -> Option<u32> {
+        let e = *self.stage1.peek((dst >> 8) as usize);
+        if e & SPILL != 0 {
+            let idx = ((e & !SPILL) as usize) * BLOCK + (dst & 0xFF) as usize;
+            decode(*self.stage2.peek(idx))
+        } else {
+            decode(e)
+        }
+    }
+
+    /// Batched lookup: gathers every lane's first-stage line as one
+    /// overlapped [`read_batch`](ExecCtx::read_batch) (the lanes are fully
+    /// independent — there is no level synchronization to speak of), then
+    /// visits the spilled lanes' second-stage lines **sorted by address**
+    /// in a second overlapped gather. Returns the same `(next_hop, reads)`
+    /// per lane as per-lane [`lookup`](Self::lookup) calls; only the
+    /// core-visible stall shrinks.
+    pub fn lookup_batch_into(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        dsts: &[u32],
+        mlp: u32,
+        scratch: &mut Dir248Scratch,
+        out: &mut Vec<(Option<u32>, u32)>,
+    ) {
+        let Dir248Scratch { addrs, entries, spill } = scratch;
+        // Stage 1: one gather over every lane's direct-index line, with an
+        // optional charge-free host pre-touch of each spilled lane's
+        // dependent second-stage line (the `hostopt` lever, default off —
+        // the `repro perf` A/B found no wall-clock win on a single-CPU
+        // host; host reads charge nothing, so simulated results cannot
+        // change either way).
+        addrs.clear();
+        entries.clear();
+        spill.clear();
+        let pretouch = pp_net::hostopt::host_pretouch();
+        let mut next_touch = 0u32;
+        for (l, &dst) in dsts.iter().enumerate() {
+            let i = (dst >> 8) as usize;
+            push_covering_lines(addrs, self.stage1.addr_of(i), self.stage1.stride());
+            let e = *self.stage1.peek(i);
+            entries.push(e);
+            if e & SPILL != 0 {
+                let idx = ((e & !SPILL) as usize) * BLOCK + (dst & 0xFF) as usize;
+                if pretouch {
+                    next_touch ^= *self.stage2.peek(idx);
+                }
+                spill.push((idx, l));
+            }
+        }
+        std::hint::black_box(next_touch);
+        ctx.read_batch(addrs, mlp);
+        // Stage 2: the spilled lanes only, visited in block-address order.
+        spill.sort_unstable();
+        addrs.clear();
+        for &(idx, _) in spill.iter() {
+            push_covering_lines(addrs, self.stage2.addr_of(idx), self.stage2.stride());
+        }
+        ctx.read_batch(addrs, mlp);
+        out.clear();
+        out.extend(dsts.iter().zip(entries.iter()).map(|(&dst, &e)| {
+            if e & SPILL != 0 {
+                let idx = ((e & !SPILL) as usize) * BLOCK + (dst & 0xFF) as usize;
+                (decode(*self.stage2.peek(idx)), 2)
+            } else {
+                (decode(e), 1)
+            }
+        }));
+    }
+}
+
+/// `Dir248IPLookup`: longest-prefix match through the DIR-24-8 table —
+/// computes the same routes as `RadixIPLookup` in 1–2 reads instead of
+/// 12–20. Packets with no route are dropped.
+pub struct Dir248IpLookup {
+    table: Dir248Table,
+    cost: CostModel,
+    /// Batched-walk scratch (reused every batch).
+    scratch: Dir248Scratch,
+    /// Scratch header addresses (reused every batch).
+    hdrs: Vec<u64>,
+    /// Scratch destinations / lane maps / results (reused every batch).
+    dsts: Vec<u32>,
+    lanes: Vec<usize>,
+    results: Vec<(Option<u32>, u32)>,
+    /// Successful lookups.
+    pub found: u64,
+    /// Lookups with no matching route (packet dropped).
+    pub no_route: u64,
+    /// Sum of reads issued (for average-depth diagnostics).
+    pub reads_total: u64,
+}
+
+impl Dir248IpLookup {
+    /// Build the element (and its table) in `alloc`'s domain.
+    pub fn new(alloc: &mut DomainAllocator, prefixes: &[PrefixEntry], cost: CostModel) -> Self {
+        Dir248IpLookup {
+            table: Dir248Table::build(alloc, prefixes),
+            cost,
+            scratch: Dir248Scratch::default(),
+            hdrs: Vec::new(),
+            dsts: Vec::new(),
+            lanes: Vec::new(),
+            results: Vec::new(),
+            found: 0,
+            no_route: 0,
+            reads_total: 0,
+        }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &Dir248Table {
+        &self.table
+    }
+
+    /// Average reads per lookup so far (diagnostics; 1.0–2.0).
+    pub fn avg_depth(&self) -> f64 {
+        let n = self.found + self.no_route;
+        if n == 0 {
+            0.0
+        } else {
+            self.reads_total as f64 / n as f64
+        }
+    }
+}
+
+impl Element for Dir248IpLookup {
+    fn class_name(&self) -> &'static str {
+        "Dir248IPLookup"
+    }
+
+    fn tag(&self) -> &'static str {
+        // Same function tag as the radix lookups so per-function cost
+        // splits line up across the three structures.
+        "radix_ip_lookup"
+    }
+
+    fn process(&mut self, ctx: &mut ExecCtx<'_>, pkt: &mut Packet) -> Action {
+        if pkt.buf_addr != 0 {
+            ctx.read(pkt.buf_addr + pkt.l3_offset() as u64 + 16);
+        }
+        let Ok(ip) = pkt.ipv4() else { return Action::Drop };
+        let (hop, reads) = self.table.lookup(ctx, u32::from(ip.dst));
+        CostModel::charge(ctx, (self.cost.lookup_step.0 * reads as u64,
+                                self.cost.lookup_step.1 * reads as u64));
+        self.reads_total += reads as u64;
+        match hop {
+            Some(_) => {
+                self.found += 1;
+                Action::Out(0)
+            }
+            None => {
+                self.no_route += 1;
+                Action::Drop
+            }
+        }
+    }
+
+    fn process_batch(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        pkts: &mut [Packet],
+        actions: &mut Vec<Action>,
+    ) {
+        if pkts.len() <= 1 {
+            for pkt in pkts.iter_mut() {
+                actions.push(self.process(ctx, pkt));
+            }
+            return;
+        }
+        // Header touches for the whole vector, overlapped.
+        self.hdrs.clear();
+        self.hdrs.extend(
+            pkts.iter().filter(|p| p.buf_addr != 0).map(|p| p.buf_addr + p.l3_offset() as u64 + 16),
+        );
+        ctx.read_batch(&self.hdrs, BATCH_MLP);
+        self.dsts.clear();
+        self.lanes.clear();
+        for (i, pkt) in pkts.iter().enumerate() {
+            if let Ok(ip) = pkt.ipv4() {
+                self.dsts.push(u32::from(ip.dst));
+                self.lanes.push(i);
+            }
+        }
+        self.table
+            .lookup_batch_into(ctx, &self.dsts, BATCH_MLP, &mut self.scratch, &mut self.results);
+        let mut total_reads = 0u64;
+        let verdict_base = actions.len();
+        actions.resize(verdict_base + pkts.len(), Action::Drop);
+        for (&lane, &(hop, reads)) in self.lanes.iter().zip(self.results.iter()) {
+            total_reads += reads as u64;
+            self.reads_total += reads as u64;
+            actions[verdict_base + lane] = match hop {
+                Some(_) => {
+                    self.found += 1;
+                    Action::Out(0)
+                }
+                None => {
+                    self.no_route += 1;
+                    Action::Drop
+                }
+            };
+        }
+        CostModel::charge(ctx, (self.cost.lookup_step.0 * total_reads,
+                                self.cost.lookup_step.1 * total_reads));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::test_util::machine;
+    use crate::elements::radix::BinaryRadixTrie;
+    use pp_net::gen::prefixes::{generate_bgp_table, generate_prefixes, linear_lpm};
+    use pp_sim::types::{CoreId, MemDomain};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn build(prefixes: &[PrefixEntry]) -> (pp_sim::machine::Machine, Dir248Table) {
+        let mut m = machine();
+        let t = Dir248Table::build(m.allocator(MemDomain(0)), prefixes);
+        (m, t)
+    }
+
+    /// A BGP-shaped table with extra /25–/32 prefixes layered under its
+    /// /24s, so the spill path is exercised.
+    fn bgp_with_long(n: usize, seed: u64) -> Vec<PrefixEntry> {
+        let mut t = generate_bgp_table(n, seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xD128);
+        let slashes24: Vec<u32> =
+            t.iter().filter(|e| e.len == 24).map(|e| e.addr).take(64).collect();
+        for (i, &base) in slashes24.iter().enumerate() {
+            let len = 25 + (i % 8) as u8;
+            let shift = 32 - len as u32;
+            // Random low byte under the /24, canonicalized to `len` bits.
+            let addr = ((base | (rng.random::<u32>() & 0xFF)) >> shift) << shift;
+            t.push(PrefixEntry { addr, len, next_hop: rng.random_range(0..64) });
+        }
+        t
+    }
+
+    #[test]
+    fn lpm_ordering_with_long_prefixes() {
+        let table = vec![
+            PrefixEntry { addr: 0x0a00_0000, len: 8, next_hop: 1 },
+            PrefixEntry { addr: 0x0a01_0000, len: 16, next_hop: 2 },
+            PrefixEntry { addr: 0x0a01_0200, len: 24, next_hop: 3 },
+            PrefixEntry { addr: 0x0a01_0203, len: 32, next_hop: 4 },
+            PrefixEntry { addr: 0x0a01_0280, len: 25, next_hop: 5 },
+        ];
+        let (_m, t) = build(&table);
+        assert_eq!(t.lookup_host(0x0a01_0203), Some(4));
+        assert_eq!(t.lookup_host(0x0a01_0204), Some(3));
+        assert_eq!(t.lookup_host(0x0a01_02ff), Some(5));
+        assert_eq!(t.lookup_host(0x0a01_ff00), Some(2));
+        assert_eq!(t.lookup_host(0x0aff_0000), Some(1));
+        assert_eq!(t.lookup_host(0x0b00_0000), None);
+        assert_eq!(t.block_count(), 1);
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let mut table = vec![
+            PrefixEntry { addr: 0x0a01_0280, len: 25, next_hop: 5 },
+            PrefixEntry { addr: 0x0a01_0203, len: 32, next_hop: 4 },
+            PrefixEntry { addr: 0x0a01_0200, len: 24, next_hop: 3 },
+            PrefixEntry { addr: 0x0a00_0000, len: 8, next_hop: 1 },
+            PrefixEntry { addr: 0x0a01_0000, len: 16, next_hop: 2 },
+        ];
+        let (_m1, t1) = build(&table);
+        table.reverse();
+        let (_m2, t2) = build(&table);
+        for ip in [0x0a01_0203u32, 0x0a01_0204, 0x0a01_02ff, 0x0a01_ff00, 0x0aff_0000] {
+            assert_eq!(t1.lookup_host(ip), t2.lookup_host(ip), "ip {ip:#x}");
+        }
+    }
+
+    #[test]
+    fn matches_linear_oracle() {
+        let mut prefixes = generate_prefixes(2000, 77, true);
+        // Layer some /25–/32s under existing /24s.
+        let mut rng = SmallRng::seed_from_u64(99);
+        let slashes24: Vec<u32> =
+            prefixes.iter().filter(|e| e.len == 24).map(|e| e.addr).take(40).collect();
+        for &base in &slashes24 {
+            let len: u8 = rng.random_range(25..=32);
+            let shift = 32 - len as u32;
+            let addr = ((base | (rng.random::<u32>() & 0xFF)) >> shift) << shift;
+            prefixes.push(PrefixEntry { addr, len, next_hop: rng.random_range(0..64) });
+        }
+        let (_m, t) = build(&prefixes);
+        for _ in 0..3000 {
+            let ip: u32 = rng.random();
+            let want = linear_lpm(&prefixes, ip).map(|e| e.next_hop);
+            assert_eq!(t.lookup_host(ip), want, "mismatch for {ip:#x}");
+        }
+        // And specifically addresses inside the spilled /24s.
+        for &base in &slashes24 {
+            for _ in 0..20 {
+                let ip = base | (rng.random::<u32>() & 0xFF);
+                let want = linear_lpm(&prefixes, ip).map(|e| e.next_hop);
+                assert_eq!(t.lookup_host(ip), want, "mismatch for {ip:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_binary_radix_spec() {
+        let prefixes = bgp_with_long(3000, 21);
+        let (_m1, dir) = build(&prefixes);
+        let mut m2 = machine();
+        let bin = BinaryRadixTrie::build(m2.allocator(MemDomain(0)), &prefixes);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..3000 {
+            let ip: u32 = rng.random();
+            assert_eq!(dir.lookup_host(ip), bin.lookup_host(ip), "ip {ip:#x}");
+        }
+    }
+
+    #[test]
+    fn simulated_lookup_agrees_with_host_and_charges() {
+        let prefixes = bgp_with_long(1000, 2);
+        let (mut m, t) = build(&prefixes);
+        let mut ctx = m.ctx(CoreId(0));
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..300 {
+            let ip: u32 = rng.random();
+            let (hop, reads) = t.lookup(&mut ctx, ip);
+            assert_eq!(hop, t.lookup_host(ip));
+            assert!((1..=2).contains(&reads));
+        }
+        assert!(m.core(CoreId(0)).counters.total().l1_refs >= 300);
+    }
+
+    #[test]
+    fn batch_results_equal_scalar_results() {
+        let prefixes = bgp_with_long(2000, 5);
+        let (mut m, t) = build(&prefixes);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut dsts: Vec<u32> = (0..200).map(|_| rng.random()).collect();
+        // Duplicate destinations must behave identically per lane.
+        dsts.extend_from_slice(&dsts.clone()[..50]);
+        let mut ctx = m.ctx(CoreId(0));
+        let scalar: Vec<(Option<u32>, u32)> =
+            dsts.iter().map(|&d| t.lookup(&mut ctx, d)).collect();
+        let mut scratch = Dir248Scratch::default();
+        let mut out = Vec::new();
+        t.lookup_batch_into(&mut ctx, &dsts, BATCH_MLP, &mut scratch, &mut out);
+        assert_eq!(scalar, out);
+    }
+
+    #[test]
+    fn batched_element_charges_less_than_scalar() {
+        // The point of the structure + batching: fewer dependent stalls.
+        let prefixes = bgp_with_long(2000, 11);
+        let mut ms = machine();
+        let mut el_s =
+            Dir248IpLookup::new(ms.allocator(MemDomain(0)), &prefixes, CostModel::default());
+        let mut mb = machine();
+        let mut el_b =
+            Dir248IpLookup::new(mb.allocator(MemDomain(0)), &prefixes, CostModel::default());
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut pkts: Vec<Packet> = (0..64)
+            .map(|_| {
+                pp_net::packet::PacketBuilder::default().udp(
+                    std::net::Ipv4Addr::new(1, 2, 3, 4),
+                    std::net::Ipv4Addr::from(rng.random::<u32>()),
+                    1000,
+                    53,
+                    b"x",
+                )
+            })
+            .collect();
+        let mut pkts2 = pkts.clone();
+        let mut scalar_actions = Vec::new();
+        {
+            let mut ctx = ms.ctx(CoreId(0));
+            for p in pkts.iter_mut() {
+                scalar_actions.push(el_s.process(&mut ctx, p));
+            }
+        }
+        let mut batch_actions = Vec::new();
+        {
+            let mut ctx = mb.ctx(CoreId(0));
+            el_b.process_batch(&mut ctx, &mut pkts2, &mut batch_actions);
+        }
+        assert_eq!(scalar_actions, batch_actions);
+        assert_eq!((el_s.found, el_s.no_route), (el_b.found, el_b.no_route));
+        assert!(
+            mb.core(CoreId(0)).clock < ms.core(CoreId(0)).clock,
+            "batched walk must be cheaper: batch {} vs scalar {}",
+            mb.core(CoreId(0)).clock,
+            ms.core(CoreId(0)).clock
+        );
+    }
+
+    #[test]
+    fn batch_of_one_is_charge_identical_to_scalar() {
+        let prefixes = bgp_with_long(500, 13);
+        let mut ms = machine();
+        let mut el_s =
+            Dir248IpLookup::new(ms.allocator(MemDomain(0)), &prefixes, CostModel::default());
+        let mut mb = machine();
+        let mut el_b =
+            Dir248IpLookup::new(mb.allocator(MemDomain(0)), &prefixes, CostModel::default());
+        let mut pkt = crate::element::test_util::packet();
+        let mut pkt2 = pkt.clone();
+        let a = {
+            let mut ctx = ms.ctx(CoreId(0));
+            el_s.process(&mut ctx, &mut pkt)
+        };
+        let mut actions = Vec::new();
+        {
+            let mut ctx = mb.ctx(CoreId(0));
+            el_b.process_batch(&mut ctx, std::slice::from_mut(&mut pkt2), &mut actions);
+        }
+        assert_eq!(vec![a], actions);
+        assert_eq!(ms.core(CoreId(0)).clock, mb.core(CoreId(0)).clock);
+        assert_eq!(
+            ms.core(CoreId(0)).counters.total(),
+            mb.core(CoreId(0)).counters.total()
+        );
+    }
+
+    #[test]
+    fn footprint_is_dram_resident_scale() {
+        let prefixes = bgp_with_long(20_000, 4);
+        let (_m, t) = build(&prefixes);
+        let mb = t.footprint() as f64 / (1024.0 * 1024.0);
+        assert!(mb >= 64.0, "the direct stage alone is 64 MB, got {mb:.1} MB");
+        assert!(t.block_count() > 0, "spill blocks must exist");
+        assert_eq!(
+            t.footprint(),
+            (STAGE1_ENTRIES * 4) as u64 + (t.block_count() * BLOCK * 4) as u64
+        );
+    }
+
+    #[test]
+    fn element_routes_and_drops() {
+        let table = vec![PrefixEntry { addr: 0x0a00_0000, len: 8, next_hop: 1 }];
+        let mut m = machine();
+        let mut el =
+            Dir248IpLookup::new(m.allocator(MemDomain(0)), &table, CostModel::default());
+        let mut ctx = m.ctx(CoreId(0));
+        // 93.184.216.34 is not under 10/8.
+        let mut pkt = crate::element::test_util::packet();
+        assert_eq!(el.process(&mut ctx, &mut pkt), Action::Drop);
+        assert_eq!(el.no_route, 1);
+        let mut pkt = pp_net::packet::PacketBuilder::default().udp(
+            std::net::Ipv4Addr::new(1, 2, 3, 4),
+            std::net::Ipv4Addr::new(10, 9, 9, 9),
+            1,
+            2,
+            b"x",
+        );
+        assert_eq!(el.process(&mut ctx, &mut pkt), Action::Out(0));
+        assert_eq!(el.found, 1);
+        assert!((1.0..=2.0).contains(&el.avg_depth()));
+    }
+}

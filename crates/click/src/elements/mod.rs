@@ -6,6 +6,7 @@ pub mod classifier;
 pub mod control;
 pub mod dpi;
 pub mod firewall;
+pub mod lpm;
 pub mod nat;
 pub mod netflow;
 pub mod queue;

@@ -240,6 +240,95 @@ impl MultibitTrie {
             None
         }
     }
+
+    /// Batched level-synchronous lookup, mirroring
+    /// [`BinaryRadixTrie::lookup_batch_into`]: each level's node reads are
+    /// independent across lanes and issue as one overlapped
+    /// [`read_batch`](ExecCtx::read_batch), with the next level's node
+    /// optionally pre-touched host-side (charge-free; the `hostopt`
+    /// lever) while this level's gather is charged. Visits the same
+    /// entries and returns the same
+    /// `(next_hop, levels)` per lane as per-lane [`lookup`](Self::lookup).
+    pub fn lookup_batch_into(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        dsts: &[u32],
+        mlp: u32,
+        scratch: &mut MultibitScratch,
+        out: &mut Vec<(Option<u32>, u32)>,
+    ) {
+        let n = dsts.len();
+        let MultibitScratch { entries, consumed, levels, alive, next_alive, addrs } = scratch;
+        entries.clear();
+        consumed.clear();
+        consumed.resize(n, 16u32);
+        levels.clear();
+        levels.resize(n, 1u32);
+        alive.clear();
+        next_alive.clear();
+        addrs.clear();
+        // Level 1: the root-array reads, direct-indexed by the top 16 bits.
+        let pretouch = pp_net::hostopt::host_pretouch();
+        let mut next_touch = 0u32;
+        for (l, &dst) in dsts.iter().enumerate() {
+            let i = (dst >> 16) as usize;
+            push_covering_lines(addrs, self.root.addr_of(i), self.root.stride());
+            let e = *self.root.peek(i);
+            entries.push(e);
+            if e & INTERNAL != 0 {
+                alive.push(l);
+                if pretouch {
+                    next_touch ^= self.nodes.peek((e & !INTERNAL) as usize)[0];
+                }
+            }
+        }
+        std::hint::black_box(next_touch);
+        ctx.read_batch(addrs, mlp);
+        // Deeper levels: one stride-4 node read per alive lane per level.
+        while !alive.is_empty() {
+            addrs.clear();
+            next_alive.clear();
+            let mut next_touch = 0u32;
+            for &l in alive.iter() {
+                let node_idx = (entries[l] & !INTERNAL) as usize;
+                push_covering_lines(addrs, self.nodes.addr_of(node_idx), self.nodes.stride());
+                let node = *self.nodes.peek(node_idx);
+                let e = node[((dsts[l] >> (32 - consumed[l] - 4)) & 0xF) as usize];
+                entries[l] = e;
+                consumed[l] += 4;
+                levels[l] += 1;
+                if e & INTERNAL != 0 {
+                    next_alive.push(l);
+                    if pretouch {
+                        next_touch ^= self.nodes.peek((e & !INTERNAL) as usize)[0];
+                    }
+                }
+            }
+            std::hint::black_box(next_touch);
+            ctx.read_batch(addrs, mlp);
+            std::mem::swap(alive, next_alive);
+        }
+        out.clear();
+        out.extend(entries.iter().zip(levels.iter()).map(|(&e, &lv)| {
+            if e & LEAF != 0 {
+                (Some(leaf_hop(e)), lv)
+            } else {
+                (None, lv)
+            }
+        }));
+    }
+}
+
+/// Reusable per-lane walk state for
+/// [`MultibitTrie::lookup_batch_into`] (host-side only).
+#[derive(Debug, Default)]
+pub struct MultibitScratch {
+    entries: Vec<u32>,
+    consumed: Vec<u32>,
+    levels: Vec<u32>,
+    alive: Vec<usize>,
+    next_alive: Vec<usize>,
+    addrs: Vec<u64>,
 }
 
 /// A binary (bit-at-a-time) radix trie with best-match tracking — the
@@ -356,14 +445,16 @@ impl BinaryRadixTrie {
         alive.clear();
         alive.extend(0..n);
         next_alive.clear();
+        let pretouch = pp_net::hostopt::host_pretouch();
         for depth in 0..=32u32 {
             if alive.is_empty() {
                 break;
             }
             // One fused pass per level: gather the level's node lines,
-            // advance each lane host-side, and *touch* every lane's next
-            // node so its host-cache miss resolves while the charging walk
-            // below runs. Host reads charge nothing, so issuing them early
+            // advance each lane host-side, and — when the `hostopt`
+            // pre-touch lever is on — *touch* every lane's next node so
+            // its host-cache miss resolves while the charging walk below
+            // runs. Host reads charge nothing, so issuing them early
             // cannot change simulated results; the charge sequence (this
             // level's lines, in lane order) is identical to charging
             // first and advancing second.
@@ -385,7 +476,9 @@ impl BinaryRadixTrie {
                 if child != NO_CHILD {
                     cur[l] = child as usize;
                     next_alive.push(l);
-                    next_touch ^= self.nodes.peek(cur[l])[2];
+                    if pretouch {
+                        next_touch ^= self.nodes.peek(cur[l])[2];
+                    }
                 }
             }
             std::hint::black_box(next_touch);
@@ -631,6 +724,13 @@ impl Element for RadixIpLookup {
 pub struct MultibitIpLookup {
     trie: MultibitTrie,
     cost: CostModel,
+    /// Batched-walk scratch (reused every batch).
+    scratch: MultibitScratch,
+    /// Scratch header addresses / lanes / results (reused every batch).
+    hdrs: Vec<u64>,
+    dsts: Vec<u32>,
+    lanes: Vec<usize>,
+    results: Vec<(Option<u32>, u32)>,
     /// Successful lookups.
     pub found: u64,
     /// Lookups with no matching route.
@@ -643,6 +743,11 @@ impl MultibitIpLookup {
         MultibitIpLookup {
             trie: MultibitTrie::build(alloc, prefixes),
             cost,
+            scratch: MultibitScratch::default(),
+            hdrs: Vec::new(),
+            dsts: Vec::new(),
+            lanes: Vec::new(),
+            results: Vec::new(),
             found: 0,
             no_route: 0,
         }
@@ -676,6 +781,53 @@ impl Element for MultibitIpLookup {
                 Action::Drop
             }
         }
+    }
+
+    fn process_batch(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        pkts: &mut [Packet],
+        actions: &mut Vec<Action>,
+    ) {
+        if pkts.len() <= 1 {
+            for pkt in pkts.iter_mut() {
+                actions.push(self.process(ctx, pkt));
+            }
+            return;
+        }
+        self.hdrs.clear();
+        self.hdrs.extend(
+            pkts.iter().filter(|p| p.buf_addr != 0).map(|p| p.buf_addr + p.l3_offset() as u64 + 16),
+        );
+        ctx.read_batch(&self.hdrs, BATCH_MLP);
+        self.dsts.clear();
+        self.lanes.clear();
+        for (i, pkt) in pkts.iter().enumerate() {
+            if let Ok(ip) = pkt.ipv4() {
+                self.dsts.push(u32::from(ip.dst));
+                self.lanes.push(i);
+            }
+        }
+        self.trie
+            .lookup_batch_into(ctx, &self.dsts, BATCH_MLP, &mut self.scratch, &mut self.results);
+        let mut total_levels = 0u64;
+        let verdict_base = actions.len();
+        actions.resize(verdict_base + pkts.len(), Action::Drop);
+        for (&lane, &(hop, levels)) in self.lanes.iter().zip(self.results.iter()) {
+            total_levels += levels as u64;
+            actions[verdict_base + lane] = match hop {
+                Some(_) => {
+                    self.found += 1;
+                    Action::Out(0)
+                }
+                None => {
+                    self.no_route += 1;
+                    Action::Drop
+                }
+            };
+        }
+        CostModel::charge(ctx, (self.cost.lookup_step.0 * total_levels,
+                                self.cost.lookup_step.1 * total_levels));
     }
 }
 
@@ -858,6 +1010,97 @@ mod tests {
             let (hop, _) = trie.lookup(&mut ctx, ip);
             assert_eq!(hop, trie.lookup_host(ip));
         }
+    }
+
+    #[test]
+    fn multibit_batch_results_equal_scalar_results() {
+        use pp_net::gen::prefixes::generate_bgp_table;
+        let prefixes = generate_bgp_table(2000, 13);
+        let (mut m, trie) = build(&prefixes);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut dsts: Vec<u32> = (0..150).map(|_| rng.random()).collect();
+        dsts.extend_from_slice(&dsts.clone()[..30]); // duplicate lanes
+        let mut ctx = m.ctx(CoreId(0));
+        let scalar: Vec<(Option<u32>, u32)> =
+            dsts.iter().map(|&d| trie.lookup(&mut ctx, d)).collect();
+        let mut scratch = MultibitScratch::default();
+        let mut out = Vec::new();
+        trie.lookup_batch_into(&mut ctx, &dsts, BATCH_MLP, &mut scratch, &mut out);
+        assert_eq!(scalar, out);
+    }
+
+    #[test]
+    fn multibit_batch_of_one_is_charge_identical_to_scalar() {
+        use pp_net::gen::prefixes::generate_bgp_table;
+        let prefixes = generate_bgp_table(500, 3);
+        let mut ms = machine();
+        let mut el_s =
+            MultibitIpLookup::new(ms.allocator(MemDomain(0)), &prefixes, CostModel::default());
+        let mut mb = machine();
+        let mut el_b =
+            MultibitIpLookup::new(mb.allocator(MemDomain(0)), &prefixes, CostModel::default());
+        let mut pkt = crate::element::test_util::packet();
+        let mut pkt2 = pkt.clone();
+        let a = {
+            let mut ctx = ms.ctx(CoreId(0));
+            el_s.process(&mut ctx, &mut pkt)
+        };
+        let mut actions = Vec::new();
+        {
+            let mut ctx = mb.ctx(CoreId(0));
+            el_b.process_batch(&mut ctx, std::slice::from_mut(&mut pkt2), &mut actions);
+        }
+        assert_eq!(vec![a], actions);
+        assert_eq!(ms.core(CoreId(0)).clock, mb.core(CoreId(0)).clock);
+        assert_eq!(
+            ms.core(CoreId(0)).counters.total(),
+            mb.core(CoreId(0)).counters.total()
+        );
+    }
+
+    #[test]
+    fn multibit_batched_element_charges_less_than_scalar() {
+        use pp_net::gen::prefixes::generate_bgp_table;
+        let prefixes = generate_bgp_table(5000, 7);
+        let mut ms = machine();
+        let mut el_s =
+            MultibitIpLookup::new(ms.allocator(MemDomain(0)), &prefixes, CostModel::default());
+        let mut mb = machine();
+        let mut el_b =
+            MultibitIpLookup::new(mb.allocator(MemDomain(0)), &prefixes, CostModel::default());
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut pkts: Vec<pp_net::packet::Packet> = (0..64)
+            .map(|_| {
+                pp_net::packet::PacketBuilder::default().udp(
+                    std::net::Ipv4Addr::new(1, 2, 3, 4),
+                    std::net::Ipv4Addr::from(rng.random::<u32>()),
+                    1000,
+                    53,
+                    b"x",
+                )
+            })
+            .collect();
+        let mut pkts2 = pkts.clone();
+        let mut scalar_actions = Vec::new();
+        {
+            let mut ctx = ms.ctx(CoreId(0));
+            for p in pkts.iter_mut() {
+                scalar_actions.push(el_s.process(&mut ctx, p));
+            }
+        }
+        let mut batch_actions = Vec::new();
+        {
+            let mut ctx = mb.ctx(CoreId(0));
+            el_b.process_batch(&mut ctx, &mut pkts2, &mut batch_actions);
+        }
+        assert_eq!(scalar_actions, batch_actions);
+        assert_eq!((el_s.found, el_s.no_route), (el_b.found, el_b.no_route));
+        assert!(
+            mb.core(CoreId(0)).clock < ms.core(CoreId(0)).clock,
+            "batched multibit walk must be cheaper: batch {} vs scalar {}",
+            mb.core(CoreId(0)).clock,
+            ms.core(CoreId(0)).clock
+        );
     }
 
     #[test]

@@ -91,10 +91,13 @@ pub mod prelude {
     pub use crate::elements::control::{Control, ControlHandle};
     pub use crate::elements::dpi::{AhoCorasick, Dpi, DpiMode};
     pub use crate::elements::firewall::Firewall;
+    pub use crate::elements::lpm::{Dir248IpLookup, Dir248Table};
     pub use crate::elements::nat::{Nat, NatConfig};
     pub use crate::elements::netflow::NetFlow;
     pub use crate::elements::queue::{SpscQueue, HANDOFF_TAG, SLOTS_PER_LINE};
-    pub use crate::elements::radix::{BinaryRadixTrie, MultibitIpLookup, MultibitTrie, RadixIpLookup};
+    pub use crate::elements::radix::{
+        BinaryRadixTrie, MultibitIpLookup, MultibitScratch, MultibitTrie, RadixIpLookup,
+    };
     pub use crate::elements::re::{ReConfig, RedundancyElim, RollingHash};
     pub use crate::elements::synthetic::{SynParams, Synthetic};
     pub use crate::elements::vpn::VpnEncrypt;

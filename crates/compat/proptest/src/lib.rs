@@ -1,7 +1,7 @@
 //! Minimal, API-compatible shim for the subset of the [`proptest`] crate
 //! used by this workspace: the `proptest!` macro, `any::<T>()`, integer and
-//! float range strategies, `collection::vec`, `prop_assert*`, and
-//! `prop_assume!`.
+//! float range strategies, tuple strategies, `Strategy::prop_map`,
+//! `collection::vec`, `prop_assert*`, and `prop_assume!`.
 //!
 //! The build environment has no route to a crates.io mirror, so this shim
 //! provides random-input testing without upstream proptest's shrinking: a
@@ -68,7 +68,47 @@ pub trait Strategy {
     type Value;
     /// Draw one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f` (upstream's `prop_map`, minus
+    /// shrinking).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
 }
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$i:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0/0);
+impl_tuple_strategy!(S0/0, S1/1);
+impl_tuple_strategy!(S0/0, S1/1, S2/2);
+impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3);
+impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4);
+impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4, S5/5);
 
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
@@ -350,6 +390,19 @@ mod tests {
                 prop_assert!(!v.is_empty() && v.len() < 3);
                 prop_assert!(v.iter().all(|&b| b < 4));
             }
+        }
+
+        #[test]
+        fn tuple_strategies_compose(pairs in crate::collection::vec((0u32..10, 100u8..=200), 1..5)) {
+            for &(a, b) in &pairs {
+                prop_assert!(a < 10);
+                prop_assert!((100..=200).contains(&b));
+            }
+        }
+
+        #[test]
+        fn prop_map_transforms(evens in (0u32..50).prop_map(|x| x * 2)) {
+            prop_assert!(evens % 2 == 0 && evens < 100);
         }
     }
 

@@ -243,4 +243,26 @@ mod tests {
     fn bgp_table_deterministic() {
         assert_eq!(generate_bgp_table(5000, 9), generate_bgp_table(5000, 9));
     }
+
+    #[test]
+    fn bgp_table_reaches_internet_scale() {
+        // PR 10's DRAM-resident regime asks for ~1M prefixes. The /12 and
+        // /16 layers saturate their address space before their percentage
+        // shares (4k and 64k slots), so the generator lands a little short
+        // of the request — assert it stays within ~10% and stays valid.
+        let t = generate_bgp_table(1_000_000, 42);
+        assert!(
+            t.len() >= 880_000 && t.len() <= 1_000_000,
+            "requested 1M, got {}",
+            t.len()
+        );
+        for e in t.iter().step_by(997) {
+            assert!(e.len <= 32);
+            let mask = if e.len == 0 { 0 } else { u32::MAX << (32 - e.len) };
+            assert_eq!(e.addr & !mask, 0, "unmasked bits in {:#x}/{}", e.addr, e.len);
+        }
+        // /24s dominate, as in real BGP dumps.
+        let n24 = t.iter().filter(|e| e.len == 24).count();
+        assert!(n24 * 2 > t.len(), "/24s should dominate: {n24} of {}", t.len());
+    }
 }

@@ -17,8 +17,10 @@ pub mod batch;
 pub mod checksum;
 pub mod error;
 pub mod fivetuple;
+pub mod flowtab;
 pub mod gen;
 pub mod headers;
+pub mod hostopt;
 pub mod packet;
 pub mod pcap;
 pub mod pool;
@@ -27,6 +29,7 @@ pub mod pool;
 pub mod prelude {
     pub use crate::error::ParseError;
     pub use crate::fivetuple::{fnv1a, FlowKey};
+    pub use crate::flowtab::{FlowTable, Probe, TabKey, Touch, BUCKET_SLOTS, PROBE_BUCKETS};
     pub use crate::gen::prefixes::{generate_bgp_table, generate_prefixes, linear_lpm, PrefixEntry};
     pub use crate::gen::rules::{
         generate_classifier_rules, generate_port_rules, generate_unmatchable_rules, Rule,
